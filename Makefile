@@ -1,0 +1,35 @@
+# Development targets for the empart library.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench table1 examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Regenerate the paper's Table 1 (markdown on stdout).
+table1:
+	$(GO) run ./cmd/embench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/loadbalance
+	$(GO) run ./examples/histogram
+	$(GO) run ./examples/percentiles
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,234 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// randomized selection pivot vs the deterministic BFPRT pivot, the sampled
+// linear-I/O splitter finder vs the sort-based exact one, the multi-selection
+// base case vs naive per-rank selection, and the merge fan-in of external
+// sort. Metrics as in bench_test.go.
+package empart
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/approxsplit"
+	"repro/internal/emio"
+	"repro/internal/emsel"
+	"repro/internal/extsort"
+	"repro/internal/workload"
+)
+
+// BenchmarkAblationSelectPivot compares the randomized median-of-probes
+// pivot (default) against the deterministic BFPRT median-of-medians for
+// single-rank selection. Expectation: both linear, randomized about 3x
+// cheaper.
+func BenchmarkAblationSelectPivot(b *testing.B) {
+	for _, mode := range []string{"randomized", "deterministic"} {
+		b.Run(mode, func(b *testing.B) {
+			ctx, err := emio.NewCtx(benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := workload.File(ctx.Disk(), workload.Uniform, benchN, 0xab1)
+			var io int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Disk().ResetStats()
+				var err error
+				if mode == "randomized" {
+					_, err = emsel.Select(ctx, f, benchN/2)
+				} else {
+					_, err = emsel.SelectDeterministic(ctx, f, benchN/2)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				io = ctx.Disk().Stats().Total()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(io), "io/op")
+			b.ReportMetric(float64(io)/(float64(benchN)/float64(benchCfg.B)), "scans/op")
+		})
+	}
+}
+
+// BenchmarkAblationSplitterFinder compares the randomized sampled splitter
+// finder (the Hu-et-al substitute, O(n/B)) against the sort-based exact one
+// (O((n/B) lg(n/B))). This is the substitution DESIGN.md §4 documents; the
+// sampled version must win by about the sort's pass count.
+func BenchmarkAblationSplitterFinder(b *testing.B) {
+	g := 256
+	for _, mode := range []string{"sampled", "exact-sort"} {
+		b.Run(mode, func(b *testing.B) {
+			ctx, err := emio.NewCtx(benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := workload.File(ctx.Disk(), workload.Uniform, benchN, 0xab2)
+			var io int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Disk().ResetStats()
+				var res *approxsplit.Result
+				var err error
+				if mode == "sampled" {
+					res, err = approxsplit.Splitters(ctx, f, g)
+				} else {
+					res, err = approxsplit.SplittersExact(ctx, f, g)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Close()
+				io = ctx.Disk().Stats().Total()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(io), "io/op")
+			b.ReportMetric(float64(io)/(float64(benchN)/float64(benchCfg.B)), "scans/op")
+		})
+	}
+}
+
+// BenchmarkAblationMultiSelectBaseCase compares Theorem 4's base case (one
+// splitter pass + one intermixed-selection instance for all K queries)
+// against the naive alternative of K independent exact selections.
+// Expectation: naive is cheaper for K = 1-2 and loses linearly in K beyond.
+func BenchmarkAblationMultiSelectBaseCase(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		ranks := make([]int64, k)
+		for i := range ranks {
+			ranks[i] = int64(i+1) * benchN / int64(k+1)
+		}
+		b.Run(fmt.Sprintf("intermixed/K=%d", k), func(b *testing.B) {
+			runMeasured(b, benchCfg, benchN, workload.Uniform, 0,
+				func(sys *System, f *File) error {
+					out, err := sys.MultiSelect(f, ranks)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+		b.Run(fmt.Sprintf("perrank/K=%d", k), func(b *testing.B) {
+			ctx, err := emio.NewCtx(benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := workload.File(ctx.Disk(), workload.Uniform, benchN, 0xbe7c4)
+			var io int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Disk().ResetStats()
+				for _, r := range ranks {
+					if _, err := emsel.Select(ctx, f, r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				io = ctx.Disk().Stats().Total()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(io), "io/op")
+			b.ReportMetric(float64(io)/(float64(benchN)/float64(benchCfg.B)), "scans/op")
+		})
+	}
+}
+
+// BenchmarkAblationSortFanIn measures external sort under artificially small
+// merge fan-ins: halving the fan-in adds merge passes, the lg_{M/B} factor
+// made tangible.
+func BenchmarkAblationSortFanIn(b *testing.B) {
+	for _, fan := range []int{2, 4, 16, 0} { // 0 = natural (M-derived)
+		name := fmt.Sprintf("fan=%d", fan)
+		if fan == 0 {
+			name = "fan=natural"
+		}
+		b.Run(name, func(b *testing.B) {
+			ctx, err := emio.NewCtx(benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := workload.File(ctx.Disk(), workload.Uniform, benchN, 0xab3)
+			var io int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Disk().ResetStats()
+				runs, err := extsort.FormRuns(ctx, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err := extsort.MergeAllWithFanIn(ctx, runs, fan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out.Release()
+				io = ctx.Disk().Stats().Total()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(io), "io/op")
+			b.ReportMetric(float64(io)/(float64(benchN)/float64(benchCfg.B)), "scans/op")
+		})
+	}
+}
+
+// BenchmarkAblationMergeVsDistribution races the two classical external
+// sorting strategies — merge (extsort) and distribution (distsort, built on
+// the paper's splitter machinery) — at the same parameters. Both are
+// Θ((N/B) lg_{M/B}(N/B)).
+func BenchmarkAblationMergeVsDistribution(b *testing.B) {
+	for _, mode := range []string{"merge", "distribution"} {
+		b.Run(mode, func(b *testing.B) {
+			runMeasured(b, benchCfg, benchN, workload.Uniform, 0,
+				func(sys *System, f *File) error {
+					var out *File
+					var err error
+					if mode == "merge" {
+						out, err = sys.Sort(f)
+					} else {
+						out, err = sys.DistributionSort(f)
+					}
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// BenchmarkBackingStore compares wall-clock cost of the in-memory block
+// store against the real file-backed store on an identical sort (the I/O
+// counts are identical by construction; this measures the host-side price of
+// real positioned I/O).
+func BenchmarkBackingStore(b *testing.B) {
+	elems := workload.Elems(workload.Uniform, benchN/4, benchCfg.B, 0xd15c)
+	b.Run("memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := New(benchCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := sys.Stage(elems)
+			out, err := sys.Sort(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out.Release()
+		}
+	})
+	b.Run("file", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			sys, err := NewFileBacked(benchCfg, fmt.Sprintf("%s/disk-%d.dat", dir, i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := sys.Stage(elems)
+			out, err := sys.Sort(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out.Release()
+			sys.Close()
+		}
+	})
+}

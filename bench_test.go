@@ -1,0 +1,392 @@
+// Benchmarks regenerating the paper's evaluation (Table 1 and the
+// companion-problem results). The paper is a theory paper: its "evaluation"
+// is a table of matching upper and lower bounds, so each benchmark measures
+// the real block-I/O count of the implementation on the simulated EM machine
+// and reports it alongside the paper's formula, as custom metrics:
+//
+//	io/op       measured block transfers per operation
+//	scans/op    measured transfers divided by one scan (N/B) — the shape axis
+//	bound/op    the paper's upper-bound formula at these parameters
+//	ratio/op    measured / bound — the fitted constant (flat ratio = match)
+//
+// cmd/embench turns the same sweeps into the paper-style tables recorded in
+// EXPERIMENTS.md. See DESIGN.md §3 for the experiment index.
+package empart
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/intermix"
+	"repro/internal/workload"
+)
+
+// benchCfg is the standard benchmark machine: M = 4096 elements, B = 32.
+var benchCfg = Config{M: 1 << 12, B: 1 << 5}
+
+// benchN is the standard input size: 64x memory.
+const benchN = 1 << 18
+
+// runMeasured executes fn b.N times on a staged input, reporting I/O metrics
+// against the given formula bound.
+func runMeasured(b *testing.B, cfg Config, n int, kind workload.Kind, bound float64,
+	fn func(sys *System, f *File) error) {
+	b.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := workload.Elems(kind, n, cfg.B, 0xbe7c4)
+	f := sys.Stage(elems)
+	var io int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ResetStats()
+		if err := fn(sys, f); err != nil {
+			b.Fatal(err)
+		}
+		io = sys.Stats().Total()
+	}
+	b.StopTimer()
+	scan := float64(n) / float64(cfg.B)
+	b.ReportMetric(float64(io), "io/op")
+	b.ReportMetric(float64(io)/scan, "scans/op")
+	if bound > 0 {
+		b.ReportMetric(bound, "bound/op")
+		b.ReportMetric(float64(io)/bound, "ratio/op")
+	}
+}
+
+// --- SORT-BASE: the trivial baseline for every Table-1 row ---------------
+
+func BenchmarkSortBaseline(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			runMeasured(b, benchCfg, n, workload.Uniform, mc.Sort(int64(n)),
+				func(sys *System, f *File) error {
+					out, err := sys.Sort(f)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- T1-R-SPL: right-grounded splitters, Θ((1+aK/B) lg_{M/B}(K/B)) --------
+// The headline sublinear regime: cost grows with aK, not with N.
+
+func BenchmarkTable1RightSplitters(b *testing.B) {
+	k := int64(64)
+	for _, a := range []int64{2, 16, 128, 1024, benchN / 64} {
+		b.Run(fmt.Sprintf("a=%d", a), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			p := Params{K: k, A: a, B: benchN}
+			runMeasured(b, benchCfg, benchN, workload.Uniform, mc.SplittersRight(a, k),
+				func(sys *System, f *File) error {
+					out, err := sys.Splitters(f, p)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- T1-L-SPL: left-grounded splitters, Θ((N/B) lg_{M/B}(N/(bB))) ---------
+
+func BenchmarkTable1LeftSplitters(b *testing.B) {
+	k := int64(64)
+	for _, bb := range []int64{benchN / 64, benchN / 16, benchN / 4, benchN / 2} {
+		b.Run(fmt.Sprintf("b=%d", bb), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			p := Params{K: k, A: 0, B: bb}
+			runMeasured(b, benchCfg, benchN, workload.Uniform, mc.SplittersLeft(benchN, bb),
+				func(sys *System, f *File) error {
+					out, err := sys.Splitters(f, p)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- T1-2-SPL: two-sided splitters, sum bound ------------------------------
+
+func BenchmarkTable1TwoSidedSplitters(b *testing.B) {
+	k := int64(64)
+	nk := int64(benchN) / k
+	for _, tc := range []struct{ a, b int64 }{
+		{nk, nk},             // exact quantile
+		{nk / 8, nk * 4},     // moderate slack both sides
+		{4, benchN / 4},      // tiny a, generous b
+		{nk / 2, benchN / 2}, // wide b
+	} {
+		b.Run(fmt.Sprintf("a=%d/b=%d", tc.a, tc.b), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			p := Params{K: k, A: tc.a, B: tc.b}
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.SplittersTwoSidedUB(benchN, k, tc.a, tc.b),
+				func(sys *System, f *File) error {
+					out, err := sys.Splitters(f, p)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- T1-R-PAR: right-grounded partitioning ---------------------------------
+
+func BenchmarkTable1RightPartitioning(b *testing.B) {
+	k := int64(64)
+	for _, a := range []int64{0, 16, 256, benchN / 64} {
+		b.Run(fmt.Sprintf("a=%d", a), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			p := Params{K: k, A: a, B: benchN}
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.PartitionRightUB(benchN, k, a),
+				func(sys *System, f *File) error {
+					res, err := sys.Partition(f, p)
+					if err != nil {
+						return err
+					}
+					res.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- T1-L-PAR: left-grounded partitioning, Θ((N/B) lg_{M/B} min{N/b,N/B}) --
+// Includes the K-independence check: sweeping K at fixed b must be flat.
+
+func BenchmarkTable1LeftPartitioning(b *testing.B) {
+	for _, bb := range []int64{benchN / 256, benchN / 16, benchN / 2} {
+		b.Run(fmt.Sprintf("b=%d", bb), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			p := Params{K: 256, A: 0, B: bb}
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.PartitionLeft(benchN, bb),
+				func(sys *System, f *File) error {
+					res, err := sys.Partition(f, p)
+					if err != nil {
+						return err
+					}
+					res.Release()
+					return nil
+				})
+		})
+	}
+	// K-independence: same b, growing K.
+	for _, k := range []int64{16, 256, 4096} {
+		b.Run(fmt.Sprintf("Kflat/K=%d", k), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			p := Params{K: k, A: 0, B: benchN / 8}
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.PartitionLeft(benchN, benchN/8),
+				func(sys *System, f *File) error {
+					res, err := sys.Partition(f, p)
+					if err != nil {
+						return err
+					}
+					res.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- T1-2-PAR: two-sided partitioning --------------------------------------
+
+func BenchmarkTable1TwoSidedPartitioning(b *testing.B) {
+	k := int64(64)
+	nk := int64(benchN) / k
+	for _, tc := range []struct{ a, b int64 }{
+		{nk, nk},
+		{nk / 8, nk * 4},
+		{4, benchN / 4},
+	} {
+		b.Run(fmt.Sprintf("a=%d/b=%d", tc.a, tc.b), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			p := Params{K: k, A: tc.a, B: tc.b}
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.PartitionTwoSidedUB(benchN, k, tc.a, tc.b),
+				func(sys *System, f *File) error {
+					res, err := sys.Partition(f, p)
+					if err != nil {
+						return err
+					}
+					res.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- THM4-SEP: multi-selection vs multi-partition separation ---------------
+// At equi-spaced ranks/sizes, multi-selection must beat multi-partition for
+// K below about M/B and converge to it for large K.
+
+func BenchmarkSeparationMultiSelectVsMultiPartition(b *testing.B) {
+	for _, k := range []int{4, 32, 256, 2048, benchN / 32} {
+		ranks := make([]int64, k-1)
+		sizes := make([]int64, k)
+		for i := 0; i < k-1; i++ {
+			ranks[i] = int64(i+1) * benchN / int64(k)
+		}
+		prev := int64(0)
+		for i := 0; i < k; i++ {
+			cum := int64(i+1) * benchN / int64(k)
+			sizes[i] = cum - prev
+			prev = cum
+		}
+		mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+		b.Run(fmt.Sprintf("multiselect/K=%d", k), func(b *testing.B) {
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.MultiSelect(benchN, int64(k)),
+				func(sys *System, f *File) error {
+					out, err := sys.MultiSelect(f, ranks)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+		b.Run(fmt.Sprintf("multipartition/K=%d", k), func(b *testing.B) {
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.MultiPartition(benchN, int64(k)),
+				func(sys *System, f *File) error {
+					out, err := sys.MultiPartition(f, sizes)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- INTERMIX: Lemma 6, L-intermixed selection is linear -------------------
+
+func BenchmarkIntermixedSelection(b *testing.B) {
+	cfg := benchCfg
+	maxL := intermix.MaxGroups(cfg)
+	for _, l := range []int{1, 4, maxL} {
+		b.Run(fmt.Sprintf("L=%d", l), func(b *testing.B) {
+			ctx, err := emio.NewCtx(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Build an intermixed instance with L equal groups.
+			n := benchN
+			elems := workload.Elems(workload.Uniform, n, cfg.B, 0x5eed)
+			for i := range elems {
+				elems[i].Aux = emio.PackAux(int64(i%l), int64(i))
+			}
+			d := emio.BuildFile(ctx.Disk(), "D", elems)
+			targets := make([]int64, l)
+			per := int64(n / l)
+			for i := range targets {
+				targets[i] = per / 2
+			}
+			var io int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx.Disk().ResetStats()
+				res, err := intermix.Select(ctx, d, l, targets)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx.FreeElems(res)
+				io = ctx.Disk().Stats().Total()
+			}
+			b.StopTimer()
+			scan := float64(n) / float64(cfg.B)
+			b.ReportMetric(float64(io), "io/op")
+			b.ReportMetric(float64(io)/scan, "scans/op")
+		})
+	}
+}
+
+// --- RED-3: precise partitioning via the §3 reduction ----------------------
+
+func BenchmarkPreciseViaApproxReduction(b *testing.B) {
+	for _, bb := range []int64{benchN / 256, benchN / 16, benchN / 4} {
+		b.Run(fmt.Sprintf("b=%d", bb), func(b *testing.B) {
+			mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+			runMeasured(b, benchCfg, benchN, workload.Uniform,
+				mc.PartitionLeft(benchN, bb),
+				func(sys *System, f *File) error {
+					out, err := sys.PrecisePartition(f, bb)
+					if err != nil {
+						return err
+					}
+					out.Release()
+					return nil
+				})
+		})
+	}
+}
+
+// --- THM1/2-LB: measured optimal algorithms against the exact floors -------
+// ratio/op here is measured / information-floor: it must stay >= 1 (the
+// floor is a true bound) and O(1) (the algorithm is optimal).
+
+func BenchmarkLowerBoundFloor(b *testing.B) {
+	mc := Machine{M: int64(benchCfg.M), B: int64(benchCfg.B)}
+	b.Run("rightSplitters", func(b *testing.B) {
+		a, k := int64(64), int64(1024)
+		floor := mc.RightSplittersFloor(a, k)
+		p := Params{K: k, A: a, B: benchN}
+		runMeasured(b, benchCfg, benchN, workload.HardStripes, floor,
+			func(sys *System, f *File) error {
+				out, err := sys.Splitters(f, p)
+				if err != nil {
+					return err
+				}
+				out.Release()
+				return nil
+			})
+	})
+	b.Run("leftSplitters", func(b *testing.B) {
+		bb := int64(benchN / 16)
+		floor := mc.LeftSplittersFloor(benchN, bb)
+		p := Params{K: 64, A: 0, B: bb}
+		runMeasured(b, benchCfg, benchN, workload.HardStripes, floor,
+			func(sys *System, f *File) error {
+				out, err := sys.Splitters(f, p)
+				if err != nil {
+					return err
+				}
+				out.Release()
+				return nil
+			})
+	})
+	b.Run("sort", func(b *testing.B) {
+		floor := mc.SortFloor(benchN)
+		runMeasured(b, benchCfg, benchN, workload.HardStripes, floor,
+			func(sys *System, f *File) error {
+				out, err := sys.Sort(f)
+				if err != nil {
+					return err
+				}
+				out.Release()
+				return nil
+			})
+	})
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	empart "repro"
+)
+
+func TestRunSortsStream(t *testing.T) {
+	in := strings.NewReader("5 3 9 1 -4 3")
+	var out, report bytes.Buffer
+	if err := run(empart.Config{M: 64, B: 8}, "", in, &out, &report); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "-4\n1\n3\n3\n5\n9\n"; got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+	if !strings.Contains(report.String(), "N=6") {
+		t.Errorf("report %q missing N", report.String())
+	}
+}
+
+func TestRunFileBacked(t *testing.T) {
+	in := strings.NewReader("2 1")
+	var out, report bytes.Buffer
+	backing := filepath.Join(t.TempDir(), "d.dat")
+	if err := run(empart.Config{M: 64, B: 8}, backing, in, &out, &report); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "1\n2\n" {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out, report bytes.Buffer
+	if err := run(empart.Config{M: 64, B: 8}, "", strings.NewReader("12 potato"), &out, &report); err == nil {
+		t.Error("non-numeric input accepted")
+	}
+	if err := run(empart.Config{M: 64, B: 8}, "", strings.NewReader("   "), &out, &report); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run(empart.Config{M: 1, B: 8}, "", strings.NewReader("1"), &out, &report); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestParseKeysLargeValues(t *testing.T) {
+	elems, err := parseKeys(strings.NewReader("9223372036854775807 -9223372036854775808"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elems[0].Key != 1<<63-1 || elems[1].Key != -(1<<63) {
+		t.Errorf("extreme values parsed wrong: %v", elems)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func base() options {
+	return options{
+		algo: "splitters", n: 1 << 13, m: 4096, b: 32,
+		k: 8, a: 64, bmax: 0, dist: "uniform", seed: 1,
+	}
+}
+
+func TestExecuteEveryAlgo(t *testing.T) {
+	for _, algo := range []string{
+		"splitters", "partition", "multiselect", "multipartition", "precise", "sort",
+	} {
+		o := base()
+		o.algo = algo
+		if algo == "precise" {
+			o.bmax = 1024
+		}
+		report, err := execute(o)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(report, "verified") {
+			t.Errorf("%s: report lacks verification line: %q", algo, report)
+		}
+		if !strings.Contains(report, "cost:") {
+			t.Errorf("%s: report lacks cost line", algo)
+		}
+	}
+}
+
+func TestExecuteHistogram(t *testing.T) {
+	o := base()
+	o.algo = "histogram"
+	o.k = 8
+	o.lo, o.hi = 0.5, 2
+	report, err := execute(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "8 buckets") {
+		t.Errorf("report: %q", report)
+	}
+}
+
+func TestExecuteRejections(t *testing.T) {
+	o := base()
+	o.algo = "nope"
+	if _, err := execute(o); err == nil {
+		t.Error("unknown algo accepted")
+	}
+	o = base()
+	o.dist = "nope"
+	if _, err := execute(o); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	o = base()
+	o.m = 1
+	if _, err := execute(o); err == nil {
+		t.Error("bad machine accepted")
+	}
+	o = base()
+	o.k = 3 // does not divide n
+	if _, err := execute(o); err == nil {
+		t.Error("invalid K accepted")
+	}
+}

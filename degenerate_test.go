@@ -1,0 +1,106 @@
+package empart
+
+import (
+	"testing"
+
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// Degenerate machine shapes: B = 1 (every element its own block) and very
+// tight memory. The algorithms fall back to their small-M paths but must
+// stay correct.
+func TestDegenerateMachines(t *testing.T) {
+	for _, cfg := range []Config{
+		{M: 16, B: 1}, // B = 1: every element its own block
+		{M: 24, B: 4}, // ~6B: the practical minimum for the full suite
+		{M: 20, B: 3},
+	} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 256
+			elems := workload.Elems(workload.Uniform, n, cfg.B, 0xdeb)
+			f := sys.Stage(elems)
+
+			out, err := sys.Sort(f)
+			if err != nil {
+				t.Fatalf("sort: %v", err)
+			}
+			if err := verify.Sorted(sys.Read(out)); err != nil {
+				t.Fatalf("sort: %v", err)
+			}
+
+			e, err := sys.Select(f, int64(n/2))
+			if err != nil {
+				t.Fatalf("select: %v", err)
+			}
+			if err := verify.MultiSelect(elems, []int64{int64(n / 2)}, []Elem{e}); err != nil {
+				t.Fatalf("select: %v", err)
+			}
+
+			ms, err := sys.MultiSelect(f, []int64{1, int64(n / 3), int64(n)})
+			if err != nil {
+				t.Fatalf("multiselect: %v", err)
+			}
+			if err := verify.MultiSelect(elems, []int64{1, int64(n / 3), int64(n)}, sys.Read(ms)); err != nil {
+				t.Fatalf("multiselect: %v", err)
+			}
+
+			p := Params{K: 4, A: 8, B: int64(n)}
+			sp, err := sys.Splitters(f, p)
+			if err != nil {
+				t.Fatalf("splitters: %v", err)
+			}
+			if _, err := verify.Splitters(elems, sys.Read(sp), p.K, p.A, p.B); err != nil {
+				t.Fatalf("splitters: %v", err)
+			}
+
+			res, err := sys.Partition(f, Params{K: 4, A: 0, B: int64(n) / 2})
+			if err != nil {
+				t.Fatalf("partition: %v", err)
+			}
+			if err := verify.Partition(elems, sys.Read(res.Data), res.Sizes, 4, 0, int64(n)/2); err != nil {
+				t.Fatalf("partition: %v", err)
+			}
+
+			if got := sys.PeakMemory(); got > int64(cfg.M) {
+				t.Fatalf("peak memory %d over M=%d", got, cfg.M)
+			}
+		})
+	}
+}
+
+// TestMinimalMemoryFailsCleanly: at the model minimum M = 2B there is no
+// room to merge or partition (three stream buffers cannot coexist); every
+// operation beyond a scan must fail with the budget error — never panic,
+// never succeed incorrectly — and leak nothing.
+func TestMinimalMemoryFailsCleanly(t *testing.T) {
+	for _, cfg := range []Config{{M: 2, B: 1}, {M: 8, B: 4}} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 64
+			elems := workload.Elems(workload.Uniform, n, cfg.B, 0xdeb)
+			f := sys.Stage(elems)
+			if _, err := sys.Sort(f); err == nil {
+				t.Error("sort succeeded with no room to merge")
+			}
+			if used := sys.Ctx().Mem().Used(); used != 0 {
+				t.Errorf("failed sort leaked %d", used)
+			}
+			// A pure scan must still work at M = 2B.
+			dup, err := sys.MultiPartition(f, []int64{int64(n)})
+			if err != nil {
+				t.Fatalf("single-partition scan failed: %v", err)
+			}
+			if err := verify.SameMultiset(sys.Read(dup), elems); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

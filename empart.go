@@ -1,0 +1,211 @@
+// Package empart is a library for finding approximate partitions and
+// splitters in external memory, reproducing:
+//
+//	Xiaocheng Hu, Yufei Tao, Yi Yang, Shuigeng Zhou.
+//	"Finding Approximate Partitions and Splitters in External Memory."
+//	SPAA 2014.
+//
+// The library runs on a simulated external-memory machine (memory of M
+// elements, disk blocks of B elements, cost = block transfers) and provides
+// I/O-optimal algorithms for:
+//
+//   - approximate K-splitters and approximate K-partitioning, in their
+//     right-grounded, left-grounded and two-sided regimes (Theorems 5 and 6);
+//   - multi-selection in O((N/B) lg_{M/B}(K/B)) I/Os (Theorem 4);
+//   - the substrates: multi-partition (Aggarwal-Vitter), L-intermixed
+//     selection (§4.1), exact selection, external merge sort;
+//   - the §3 reduction from precise to approximate partitioning;
+//   - the lower-bound formulas and information-theoretic floors of
+//     Theorems 1-3 (package internal/bounds, surfaced via Machine);
+//   - an equi-depth histogram application.
+//
+// # Quickstart
+//
+//	sys, _ := empart.New(empart.Config{M: 1 << 20, B: 1 << 7})
+//	f := sys.Stage(elems) // stage data (uncounted harness I/O)
+//	sys.ResetStats()
+//	sp, _ := sys.Splitters(f, empart.Params{K: 16, A: 100, B: 1 << 40})
+//	fmt.Println(sys.Stats()) // block I/Os the algorithm performed
+//
+// Elements are (Key, Aux) pairs ordered lexicographically; give every
+// element a distinct Aux (e.g. its position) so the order is total.
+package empart
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/distsort"
+	"repro/internal/emio"
+	"repro/internal/emsel"
+	"repro/internal/extsort"
+	"repro/internal/histogram"
+	"repro/internal/mpart"
+	"repro/internal/msel"
+)
+
+// Re-exported foundation types.
+type (
+	// Elem is the record type: an ordered Key and an Aux word that makes
+	// records unique (and can carry a payload).
+	Elem = emio.Elem
+	// Config fixes the EM machine: M elements of memory, blocks of B
+	// elements, M >= 2B.
+	Config = emio.Config
+	// Stats is a snapshot of block-I/O counters.
+	Stats = emio.Stats
+	// File is a sequence of elements on the simulated disk.
+	File = emio.File
+	// Params carries (K, A, B): partition count and the admissible size
+	// range [A, B] for the approximate problems.
+	Params = core.Params
+	// PartitionResult is a concatenated partitioning with its sizes.
+	PartitionResult = core.PartitionResult
+	// Variant names a parameter regime (right-grounded, left-grounded,
+	// two-sided).
+	Variant = core.Variant
+	// Machine evaluates the paper's bound formulas for an (M, B) machine.
+	Machine = bounds.Machine
+	// HistogramBucket is one bucket of an equi-depth histogram.
+	HistogramBucket = histogram.Bucket
+)
+
+// Re-exported variant constants.
+const (
+	RightGrounded = core.RightGrounded
+	LeftGrounded  = core.LeftGrounded
+	TwoSided      = core.TwoSided
+)
+
+// System is an external-memory machine instance: a simulated disk with I/O
+// accounting, a memory-budget accountant armed at M, and the algorithm
+// suite. A System is not safe for concurrent use (the EM model is
+// sequential).
+type System struct {
+	ctx *emio.Ctx
+}
+
+// New creates a System for the given machine configuration, with blocks held
+// in host memory.
+func New(cfg Config) (*System, error) {
+	ctx, err := emio.NewCtx(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{ctx: ctx}, nil
+}
+
+// NewFileBacked creates a System whose simulated disk is backed by a real
+// file at path (created or truncated): every counted block transfer is an
+// actual positioned read or write. Call Close when done.
+func NewFileBacked(cfg Config, path string) (*System, error) {
+	d, err := emio.NewFileBackedDisk(path, cfg.B)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := emio.NewCtxWithDisk(cfg, d)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	return &System{ctx: ctx}, nil
+}
+
+// Close releases backend resources (the backing file for file-backed
+// systems; a no-op otherwise).
+func (s *System) Close() error { return s.ctx.Disk().Close() }
+
+// Ctx exposes the underlying context for advanced use (direct access to the
+// internal packages).
+func (s *System) Ctx() *emio.Ctx { return s.ctx }
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.ctx.Config() }
+
+// Machine returns the bound calculator for this configuration.
+func (s *System) Machine() Machine {
+	return Machine{M: int64(s.ctx.M()), B: int64(s.ctx.B())}
+}
+
+// Stats returns the I/O counters.
+func (s *System) Stats() Stats { return s.ctx.Disk().Stats() }
+
+// ResetStats zeroes the I/O counters; call it after staging inputs so only
+// the algorithms are measured.
+func (s *System) ResetStats() { s.ctx.Disk().ResetStats() }
+
+// PeakMemory returns the high-water mark of the memory accountant.
+func (s *System) PeakMemory() int64 { return s.ctx.Mem().Peak() }
+
+// LiveDiskBlocks returns the blocks currently held by unreleased files.
+func (s *System) LiveDiskBlocks() int64 { return s.ctx.Disk().LiveBlocks() }
+
+// PeakDiskBlocks returns the high-water mark of the disk footprint: the
+// scratch space the algorithms really used. ResetPeakDisk lowers it to the
+// current level so a single phase can be measured.
+func (s *System) PeakDiskBlocks() int64 { return s.ctx.Disk().PeakLiveBlocks() }
+
+// ResetPeakDisk lowers the disk-footprint high-water mark to current usage.
+func (s *System) ResetPeakDisk() { s.ctx.Disk().ResetPeakLive() }
+
+// Stage loads elements onto the disk as a new file without charging I/Os:
+// the harness-side input channel. Algorithms producing files charge normally.
+func (s *System) Stage(elems []Elem) *File {
+	return emio.BuildFile(s.ctx.Disk(), "staged", elems)
+}
+
+// Read copies a file's contents back to host memory without charging I/Os:
+// the harness-side output channel.
+func (s *System) Read(f *File) []Elem { return f.Snapshot() }
+
+// Sort external-merge-sorts f into a new file:
+// O((N/B) lg_{M/B}(N/B)) I/Os. The baseline against which everything else is
+// compared.
+func (s *System) Sort(f *File) (*File, error) { return extsort.Sort(s.ctx, f) }
+
+// DistributionSort sorts f by Aggarwal-Vitter distribution (splitter-based
+// scattering) instead of merging: the same Θ((N/B) lg_{M/B}(N/B)) bound,
+// built on the paper's approximate-splitter machinery.
+func (s *System) DistributionSort(f *File) (*File, error) { return distsort.Sort(s.ctx, f) }
+
+// Select returns the element of the given 1-based rank in O(N/B) I/Os.
+func (s *System) Select(f *File, rank int64) (Elem, error) {
+	return emsel.Select(s.ctx, f, rank)
+}
+
+// MultiSelect returns the elements of the given nondecreasing ranks, in rank
+// order, in O((N/B) lg_{M/B}(K/B)) I/Os (Theorem 4).
+func (s *System) MultiSelect(f *File, ranks []int64) (*File, error) {
+	return msel.Select(s.ctx, f, ranks)
+}
+
+// MultiPartition divides f into partitions of the prescribed sizes
+// (concatenated output) in O((N/B) lg_{M/B} K) I/Os: the Aggarwal-Vitter
+// algorithm, and the baseline Theorem 4 separates multi-selection from.
+func (s *System) MultiPartition(f *File, sizes []int64) (*File, error) {
+	return mpart.Partition(s.ctx, f, sizes)
+}
+
+// Splitters solves approximate K-splitters (Theorem 5): K-1 elements of f
+// whose induced buckets all have sizes in [p.A, p.B].
+func (s *System) Splitters(f *File, p Params) (*File, error) {
+	return core.Splitters(s.ctx, f, p)
+}
+
+// Partition solves approximate K-partitioning (Theorem 6): K order-respecting
+// partitions with sizes in [p.A, p.B], concatenated.
+func (s *System) Partition(f *File, p Params) (*PartitionResult, error) {
+	return core.Partition(s.ctx, f, p)
+}
+
+// PrecisePartition performs exact b-sized partitioning via the §3 reduction
+// (approximate partitioning plus an O(N/B) re-chunking pass).
+func (s *System) PrecisePartition(f *File, b int64) (*File, error) {
+	return core.PrecisePartitionViaApprox(s.ctx, f, b)
+}
+
+// EquiDepthHistogram builds a K-bucket equi-depth histogram with asymmetric
+// relative depth slack (lo below, hi above the ideal N/K); see package
+// internal/histogram.
+func (s *System) EquiDepthHistogram(f *File, k int, lo, hi float64) ([]HistogramBucket, error) {
+	return histogram.EquiDepth(s.ctx, f, k, lo, hi)
+}

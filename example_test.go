@@ -1,0 +1,105 @@
+package empart_test
+
+import (
+	"fmt"
+	"log"
+
+	empart "repro"
+)
+
+// ExampleSystem_Splitters divides a dataset into buckets with a two-sided
+// size guarantee and verifies the bucket sizes.
+func ExampleSystem_Splitters() {
+	sys, err := empart.New(empart.Config{M: 4096, B: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 8192
+	elems := make([]empart.Elem, n)
+	for i := range elems {
+		elems[i] = empart.Elem{Key: int64(i*2654435761) % 1000003, Aux: int64(i)}
+	}
+	f := sys.Stage(elems)
+	sys.ResetStats()
+
+	p := empart.Params{K: 8, A: n / 32, B: n / 2}
+	sp, err := sys.Splitters(f, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	splitters := sys.Read(sp)
+
+	// Count the induced buckets and check the contract.
+	counts := make([]int64, p.K)
+	for _, e := range elems {
+		j := 0
+		for j < len(splitters) && (splitters[j].Key < e.Key ||
+			(splitters[j].Key == e.Key && splitters[j].Aux < e.Aux)) {
+			j++
+		}
+		counts[j]++
+	}
+	ok := true
+	var total int64
+	for _, c := range counts {
+		if c < p.A || c > p.B {
+			ok = false
+		}
+		total += c
+	}
+	fmt.Printf("splitters: %d\n", len(splitters))
+	fmt.Printf("buckets: %d covering %d elements, all within [%d,%d]: %v\n",
+		len(counts), total, p.A, p.B, ok)
+	fmt.Printf("cost below one scan (%d blocks): %v\n", n/32, sys.Stats().Total() < n/32)
+	// Output:
+	// splitters: 7
+	// buckets: 8 covering 8192 elements, all within [256,4096]: true
+	// cost below one scan (256 blocks): false
+}
+
+// ExampleSystem_MultiSelect extracts three order statistics without sorting.
+func ExampleSystem_MultiSelect() {
+	sys, err := empart.New(empart.Config{M: 4096, B: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 10000
+	elems := make([]empart.Elem, n)
+	for i := range elems {
+		elems[i] = empart.Elem{Key: int64((i*37 + 11) % n), Aux: int64(i)}
+	}
+	f := sys.Stage(elems)
+	out, err := sys.MultiSelect(f, []int64{1, 5000, 10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range sys.Read(out) {
+		fmt.Println(e.Key)
+	}
+	// Output:
+	// 0
+	// 4999
+	// 9999
+}
+
+// ExampleSystem_Partition physically splits a dataset into bounded loads.
+func ExampleSystem_Partition() {
+	sys, err := empart.New(empart.Config{M: 4096, B: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 4096
+	elems := make([]empart.Elem, n)
+	for i := range elems {
+		elems[i] = empart.Elem{Key: int64(n - i), Aux: int64(i)}
+	}
+	f := sys.Stage(elems)
+	res, err := sys.Partition(f, empart.Params{K: 4, A: 0, B: n / 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d partitions, sizes %v, total elements %d\n",
+		len(res.Sizes), res.Sizes, res.Data.Len())
+	// Output:
+	// 4 partitions, sizes [2048 2048 0 0], total elements 4096
+}

@@ -1,0 +1,118 @@
+// Loadbalance: the paper's motivating scenario for approximate
+// K-partitioning — distributing N records across K machines for parallel
+// processing.
+//
+// Three strategies are compared on the same skewed dataset:
+//
+//  1. Exact physical partitioning: every machine gets exactly N/K records
+//     (multi-partition; the output is the fully re-ordered file).
+//  2. Loose physical partitioning: every machine gets at least N/(64K)
+//     records (right-grounded approximate K-partitioning).
+//  3. Loose boundaries only: compute right-grounded approximate K-splitters
+//     and let machines pull their own key ranges — the paper's sublinear
+//     regime: the boundaries cost far less than one scan of the data.
+//
+// Every physical output is verified against the problem definition.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	empart "repro"
+	"repro/internal/verify"
+)
+
+const (
+	n = 1 << 18
+	k = 512
+)
+
+func dataset() []empart.Elem {
+	rng := rand.New(rand.NewPCG(7, 7))
+	elems := make([]empart.Elem, n)
+	for i := range elems {
+		// Skewed keys: a hot range receives half the mass.
+		key := rng.Int64N(1 << 40)
+		if rng.IntN(2) == 0 {
+			key = rng.Int64N(1 << 20)
+		}
+		elems[i] = empart.Elem{Key: key, Aux: int64(i)}
+	}
+	return elems
+}
+
+func newRun() (*empart.System, []empart.Elem, *empart.File) {
+	sys, err := empart.New(empart.Config{M: 4096, B: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := dataset()
+	f := sys.Stage(in)
+	sys.ResetStats()
+	return sys, in, f
+}
+
+func report(label string, sys *empart.System, minSz, maxSz int64) int64 {
+	io := sys.Stats().Total()
+	fmt.Printf("%-44s load %5d..%6d   %7d I/Os (%.3f scans)\n",
+		label, minSz, maxSz, io, float64(io)/(n/32.0))
+	return io
+}
+
+func main() {
+	fmt.Printf("distributing %d records across %d machines (ideal load %d each)\n\n", n, k, n/k)
+
+	// 1. Exact physical partitioning.
+	sys, in, f := newRun()
+	pExact := empart.Params{K: k, A: n / k, B: n / k}
+	res, err := sys.Partition(f, pExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := verify.Partition(in, sys.Read(res.Data), res.Sizes, pExact.K, pExact.A, pExact.B); err != nil {
+		log.Fatal(err)
+	}
+	exact := report("exact physical partition (a=b=N/K)", sys, n/k, n/k)
+
+	// 2. Loose physical partitioning: nobody gets less than N/(16K).
+	sys, in, f = newRun()
+	pLoose := empart.Params{K: k, A: n / (64 * k), B: n}
+	res, err = sys.Partition(f, pLoose)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := verify.Partition(in, sys.Read(res.Data), res.Sizes, pLoose.K, pLoose.A, pLoose.B); err != nil {
+		log.Fatal(err)
+	}
+	var mn, mx int64 = n, 0
+	for _, s := range res.Sizes {
+		mn, mx = min(mn, s), max(mx, s)
+	}
+	loose := report("loose physical partition (a=N/64K, b=N)", sys, mn, mx)
+
+	// 3. Boundaries only: sublinear.
+	sys, in, f = newRun()
+	sp, err := sys.Splitters(f, pLoose)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes, err := verify.Splitters(in, sys.Read(sp), pLoose.K, pLoose.A, pLoose.B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mn, mx = n, 0
+	for _, s := range sizes {
+		mn, mx = min(mn, s), max(mx, s)
+	}
+	bounds := report("loose boundaries only (splitters)", sys, mn, mx)
+
+	fmt.Printf("\nloose physical partitioning saved %.0f%% of the exact cost — physically moving\n",
+		100*(1-float64(loose)/float64(exact)))
+	fmt.Printf("N records costs scans no matter how loose the balance (Theorem 3's lower bound).\n")
+	fmt.Printf("Computing boundaries alone cost %.1f%% of one scan: the sublinear regime of\n",
+		100*float64(bounds)/(n/32.0))
+	fmt.Printf("Theorems 1/5, and the paper's separation between the splitters and\n")
+	fmt.Printf("partitioning problems.\n")
+}

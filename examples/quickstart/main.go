@@ -1,0 +1,72 @@
+// Quickstart: create an external-memory machine, stage a dataset, compute
+// approximate 8-splitters with a two-sided size bound, and inspect the
+// buckets and the I/O cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	empart "repro"
+)
+
+func main() {
+	// A machine with 4096 elements of memory and blocks of 32 elements.
+	sys, err := empart.New(empart.Config{M: 4096, B: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 64Ki random records. Aux is the record's position, making every
+	// record unique so the (Key, Aux) order is total.
+	const n = 1 << 16
+	rng := rand.New(rand.NewPCG(2014, 23))
+	elems := make([]empart.Elem, n)
+	for i := range elems {
+		elems[i] = empart.Elem{Key: rng.Int64N(1 << 40), Aux: int64(i)}
+	}
+	f := sys.Stage(elems) // staging is free; algorithm I/O is counted below
+	sys.ResetStats()
+
+	// Split into K = 8 buckets, each with at least 1Ki elements and no upper
+	// bound (b = N): the right-grounded regime, where the splitters cost is
+	// sublinear — it depends on a*K, not on N (Theorems 1 and 5).
+	p := empart.Params{K: 8, A: n / 64, B: n}
+	splitters, err := sys.Splitters(f, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("problem: %d elements into K=%d buckets of size [%d, %d] (%s regime)\n",
+		n, p.K, p.A, p.B, p.Variant(n))
+
+	// Count each bucket with one more (counted) scan, using the splitters.
+	sp := sys.Read(splitters)
+	counts := make([]int64, p.K)
+	for _, e := range elems {
+		j := 0
+		for j < len(sp) && (sp[j].Key < e.Key || (sp[j].Key == e.Key && sp[j].Aux < e.Aux)) {
+			j++
+		}
+		counts[j]++
+	}
+	for i, c := range counts {
+		fmt.Printf("  bucket %d: %5d elements", i, c)
+		if i < len(sp) {
+			fmt.Printf("   (up to key %d)", sp[i].Key)
+		}
+		fmt.Println()
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\nI/O cost: %v  —  %.2f scans of the input\n", st, float64(st.Total())/(float64(n)/32))
+	fmt.Printf("paper bound at these parameters: %.0f I/Os\n",
+		sys.Machine().SplittersRight(p.A, p.K))
+
+	// Compare with actually sorting the data on the same machine.
+	sys.ResetStats()
+	if _, err := sys.Sort(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("for comparison, sorting the same data cost %d I/Os\n", sys.Stats().Total())
+}

@@ -1,0 +1,32 @@
+package empart
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every example main, asserting clean exit
+// and non-empty output. Skipped under -short (each run takes a second or
+// two).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke runs")
+	}
+	for _, dir := range []string{
+		"./examples/quickstart",
+		"./examples/loadbalance",
+		"./examples/histogram",
+		"./examples/percentiles",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", dir, err, out)
+			}
+			if !strings.Contains(string(out), "I/O") {
+				t.Errorf("%s output lacks I/O report:\n%s", dir, out)
+			}
+		})
+	}
+}

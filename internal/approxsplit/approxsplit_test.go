@@ -1,0 +1,319 @@
+package approxsplit
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/emio"
+)
+
+func mustCtx(t *testing.T, m, b int) *emio.Ctx {
+	t.Helper()
+	ctx, err := emio.NewCtx(emio.Config{M: m, B: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func randFile(d *emio.Disk, n int, keyRange int64, rng *rand.Rand) ([]emio.Elem, *emio.File) {
+	s := make([]emio.Elem, n)
+	for i := range s {
+		s[i] = emio.Elem{Key: rng.Int64N(keyRange), Aux: int64(i)}
+	}
+	return s, emio.BuildFile(d, "in", s)
+}
+
+// checkResult validates splitters ascending, bucket sizes matching a direct
+// count, totals, and the advertised balance bounds.
+func checkResult(t *testing.T, in []emio.Elem, res *Result, g int) {
+	t.Helper()
+	n := int64(len(in))
+	if len(res.Splitters) != g-1 || len(res.BucketSizes) != g {
+		t.Fatalf("got %d splitters / %d buckets, want %d / %d",
+			len(res.Splitters), len(res.BucketSizes), g-1, g)
+	}
+	for i := 1; i < len(res.Splitters); i++ {
+		if !emio.Less(res.Splitters[i-1], res.Splitters[i]) {
+			t.Fatalf("splitters not ascending at %d", i)
+		}
+	}
+	counts := make([]int64, g)
+	for _, e := range in {
+		counts[BucketOf(res.Splitters, e)]++
+	}
+	var total int64
+	for i := range counts {
+		if counts[i] != res.BucketSizes[i] {
+			t.Fatalf("bucket %d: reported %d, actual %d", i, res.BucketSizes[i], counts[i])
+		}
+		total += counts[i]
+	}
+	if total != n {
+		t.Fatalf("buckets cover %d of %d", total, n)
+	}
+	lo := n / int64(LowerDivisor*g)
+	hi := (int64(UpperFactor)*n + int64(g) - 1) / int64(g)
+	for i, c := range counts {
+		if c < lo || c > hi {
+			t.Fatalf("bucket %d size %d outside [%d,%d]", i, c, lo, hi)
+		}
+	}
+}
+
+func TestSplittersLargeUniform(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	rng := rand.New(rand.NewPCG(1, 1))
+	in, f := randFile(ctx.Disk(), 1<<16, 1<<40, rng)
+	g := 64
+	res, err := Splitters(ctx, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, res, g)
+	res.Close()
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("leaked %d memory", ctx.Mem().Used())
+	}
+}
+
+func TestSplittersHeavyDuplicates(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	rng := rand.New(rand.NewPCG(2, 2))
+	in, f := randFile(ctx.Disk(), 1<<15, 4, rng) // only 4 distinct keys
+	g := 32
+	res, err := Splitters(ctx, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, res, g)
+	res.Close()
+}
+
+func TestSplittersAllEqualKeys(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	in := make([]emio.Elem, 1<<14)
+	for i := range in {
+		in[i] = emio.Elem{Key: 7, Aux: int64(i)}
+	}
+	f := emio.BuildFile(ctx.Disk(), "eq", in)
+	res, err := Splitters(ctx, f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, res, 16)
+	res.Close()
+}
+
+func TestSplittersSortedInput(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	in := make([]emio.Elem, 1<<14)
+	for i := range in {
+		in[i] = emio.Elem{Key: int64(i), Aux: int64(i)}
+	}
+	f := emio.BuildFile(ctx.Disk(), "sorted", in)
+	res, err := Splitters(ctx, f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, res, 16)
+	res.Close()
+}
+
+func TestSplittersSmallFileExact(t *testing.T) {
+	// A file within M/3 takes the exact path: buckets must be perfectly
+	// balanced (within floor rounding).
+	ctx := mustCtx(t, 4096, 32)
+	rng := rand.New(rand.NewPCG(3, 3))
+	in, f := randFile(ctx.Disk(), 1000, 1<<30, rng)
+	g := 10
+	res, err := Splitters(ctx, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, res, g)
+	for i, c := range res.BucketSizes {
+		if c != 100 {
+			t.Errorf("exact path bucket %d = %d, want 100", i, c)
+		}
+	}
+	res.Close()
+}
+
+func TestSplittersG1(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	_, f := randFile(ctx.Disk(), 100, 100, rand.New(rand.NewPCG(4, 4)))
+	res, err := Splitters(ctx, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Splitters) != 0 || res.BucketSizes[0] != 100 {
+		t.Fatalf("G=1: %v / %v", res.Splitters, res.BucketSizes)
+	}
+	res.Close()
+}
+
+func TestSplittersParameterValidation(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	_, f := randFile(ctx.Disk(), 10, 100, rand.New(rand.NewPCG(5, 5)))
+	if _, err := Splitters(ctx, f, 0); err == nil {
+		t.Error("G=0 accepted")
+	}
+	if _, err := Splitters(ctx, f, MaxBuckets(ctx.Config())+1); err == nil {
+		t.Error("G over MaxBuckets accepted")
+	}
+	if _, err := Splitters(ctx, f, 11); err == nil {
+		t.Error("G > n accepted")
+	}
+}
+
+func TestSplittersLinearIO(t *testing.T) {
+	var perScan []float64
+	for _, n := range []int{1 << 14, 1 << 16, 1 << 18} {
+		ctx := mustCtx(t, 2048, 32)
+		rng := rand.New(rand.NewPCG(6, 6))
+		_, f := randFile(ctx.Disk(), n, int64(n), rng)
+		ctx.Disk().ResetStats()
+		res, err := Splitters(ctx, f, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Close()
+		perScan = append(perScan, float64(ctx.Disk().Stats().Total())/(float64(n)/32))
+	}
+	for i, s := range perScan {
+		if s > 8 {
+			t.Errorf("size %d: %.2f scan-equivalents, want <= 8", i, s)
+		}
+	}
+	if perScan[2] > perScan[0]+1 {
+		t.Errorf("scan constant grows with n: %v", perScan)
+	}
+}
+
+func TestSplittersDeterministicWithSeed(t *testing.T) {
+	run := func() []emio.Elem {
+		ctx := mustCtx(t, 2048, 32)
+		ctx.SetSeed(11, 13)
+		rng := rand.New(rand.NewPCG(7, 7))
+		_, f := randFile(ctx.Disk(), 1<<14, 1<<30, rng)
+		res, err := Splitters(ctx, f, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := append([]emio.Elem(nil), res.Splitters...)
+		res.Close()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different splitters at %d", i)
+		}
+	}
+}
+
+func TestSplittersMemoryWithinBudget(t *testing.T) {
+	ctx := mustCtx(t, 2048, 32)
+	rng := rand.New(rand.NewPCG(8, 8))
+	_, f := randFile(ctx.Disk(), 1<<16, 1<<40, rng)
+	res, err := Splitters(ctx, f, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	if ctx.Mem().Peak() > 2048 {
+		t.Errorf("peak %d over M=2048", ctx.Mem().Peak())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	sp := []emio.Elem{{Key: 10, Aux: 0}, {Key: 20, Aux: 0}, {Key: 30, Aux: 0}}
+	cases := []struct {
+		e    emio.Elem
+		want int
+	}{
+		{emio.Elem{Key: 5, Aux: 0}, 0},
+		{emio.Elem{Key: 10, Aux: 0}, 0}, // equal to splitter -> its bucket (closed right end)
+		{emio.Elem{Key: 10, Aux: 1}, 1}, // after the splitter in total order
+		{emio.Elem{Key: 15, Aux: 0}, 1},
+		{emio.Elem{Key: 30, Aux: 0}, 2},
+		{emio.Elem{Key: 31, Aux: 0}, 3},
+	}
+	for _, c := range cases {
+		if got := BucketOf(sp, c.e); got != c.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", c.e, got, c.want)
+		}
+	}
+	sorted := sort.SliceIsSorted(sp, func(i, j int) bool { return emio.Less(sp[i], sp[j]) })
+	if !sorted {
+		t.Fatal("test splitters not sorted")
+	}
+}
+
+func TestSplittersExactPerfectBalance(t *testing.T) {
+	ctx := mustCtx(t, 2048, 32)
+	rng := rand.New(rand.NewPCG(21, 21))
+	in, f := randFile(ctx.Disk(), 1<<14, 1<<40, rng)
+	g := 64
+	res, err := SplittersExact(ctx, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, in, res, g)
+	for i, c := range res.BucketSizes {
+		if c != int64(len(in)/g) {
+			t.Errorf("exact bucket %d = %d, want %d", i, c, len(in)/g)
+		}
+	}
+	res.Close()
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("leaked %d", ctx.Mem().Used())
+	}
+}
+
+func TestSplittersExactValidation(t *testing.T) {
+	ctx := mustCtx(t, 2048, 32)
+	_, f := randFile(ctx.Disk(), 10, 100, rand.New(rand.NewPCG(22, 22)))
+	if _, err := SplittersExact(ctx, f, 0); err == nil {
+		t.Error("G=0 accepted")
+	}
+	if _, err := SplittersExact(ctx, f, 11); err == nil {
+		t.Error("G>n accepted")
+	}
+	res, err := SplittersExact(ctx, f, 1)
+	if err != nil || res.BucketSizes[0] != 10 {
+		t.Fatalf("G=1: %v %v", res, err)
+	}
+	res.Close()
+}
+
+func TestSampledCheaperThanExact(t *testing.T) {
+	n := 1 << 16
+	rng := rand.New(rand.NewPCG(23, 23))
+	in := make([]emio.Elem, n)
+	for i := range in {
+		in[i] = emio.Elem{Key: rng.Int64(), Aux: int64(i)}
+	}
+	run := func(exact bool) int64 {
+		ctx := mustCtx(t, 2048, 32)
+		f := emio.BuildFile(ctx.Disk(), "c", in)
+		ctx.Disk().ResetStats()
+		var res *Result
+		var err error
+		if exact {
+			res, err = SplittersExact(ctx, f, 128)
+		} else {
+			res, err = Splitters(ctx, f, 128)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Close()
+		return ctx.Disk().Stats().Total()
+	}
+	if sampled, ex := run(false), run(true); sampled >= ex {
+		t.Errorf("sampled %d I/Os >= exact-sort %d", sampled, ex)
+	}
+}

@@ -1,0 +1,223 @@
+// Package bounds evaluates the paper's complexity formulas: the lower bounds
+// of Theorems 1, 2 and 3, the matching upper bounds of Theorems 5 and 6, the
+// companion-problem bounds (sorting, multi-partition, multi-selection), and
+// the information-theoretic floors that drive the lower-bound proofs
+// (the Π_hard counting argument of §2 and the machine-state counting of
+// Lemma 7/8).
+//
+// All formulas use the paper's convention lg_x(y) = max{1, log_x(y)} and
+// return asymptotic I/O counts without their hidden constants; harness code
+// fits the constants empirically (EXPERIMENTS.md) and tests check that
+// measured costs sit between floor and c * bound.
+package bounds
+
+import "math"
+
+// Machine carries the EM parameters in elements.
+type Machine struct {
+	M int64 // memory capacity
+	B int64 // block size
+}
+
+// Lg returns lg_x(y) = max(1, log_x y), the paper's clamped logarithm.
+// Defined for x > 1; y <= 0 yields the clamp value 1.
+func Lg(x, y float64) float64 {
+	if x <= 1 {
+		panic("bounds: Lg base must exceed 1")
+	}
+	if y <= 0 {
+		return 1
+	}
+	v := math.Log(y) / math.Log(x)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// lgMB is lg_{M/B}(y), with the M/B base clamped to 2 so degenerate machines
+// (M = 2B) still yield finite formulas.
+func (mc Machine) lgMB(y float64) float64 {
+	base := float64(mc.M) / float64(mc.B)
+	if base < 2 {
+		base = 2
+	}
+	return Lg(base, y)
+}
+
+// scans returns n/B, the cost of one scan, at least 1.
+func (mc Machine) scans(n int64) float64 {
+	v := float64(n) / float64(mc.B)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Sort is the sorting bound Θ((N/B) lg_{M/B}(N/B)), the trivial solution to
+// every problem in the paper.
+func (mc Machine) Sort(n int64) float64 {
+	return mc.scans(n) * mc.lgMB(float64(n)/float64(mc.B))
+}
+
+// MultiPartition is Θ((N/B) lg_{M/B} min{K, N/B}): the Aggarwal-Vitter
+// distribution bound, capped by sorting.
+func (mc Machine) MultiPartition(n, k int64) float64 {
+	return mc.scans(n) * mc.lgMB(math.Min(float64(k), float64(n)/float64(mc.B)))
+}
+
+// MultiSelect is Θ((N/B) lg_{M/B}(K/B)): Theorem 4. For K <= B the clamp
+// makes it linear — the separation from multi-partition.
+func (mc Machine) MultiSelect(n, k int64) float64 {
+	return mc.scans(n) * mc.lgMB(float64(k)/float64(mc.B))
+}
+
+// SplittersRight is Θ((1 + aK/B) lg_{M/B}(K/B)): Theorems 1 and 5. Sublinear
+// in N whenever aK = o(N / lg_{M/B}(K/B)).
+func (mc Machine) SplittersRight(a, k int64) float64 {
+	return (1 + float64(a)*float64(k)/float64(mc.B)) * mc.lgMB(float64(k)/float64(mc.B))
+}
+
+// SplittersLeft is Θ((N/B) lg_{M/B}(N/(bB))): Theorems 2 and 5.
+func (mc Machine) SplittersLeft(n, b int64) float64 {
+	return mc.scans(n) * mc.lgMB(float64(n)/(float64(b)*float64(mc.B)))
+}
+
+// SplittersTwoSidedLB is the two-sided splitters lower bound: the max of the
+// right- and left-grounded bounds (corollary of Theorems 1 and 2).
+func (mc Machine) SplittersTwoSidedLB(n, k, a, b int64) float64 {
+	return math.Max(mc.SplittersRight(a, k), mc.SplittersLeft(n, b))
+}
+
+// SplittersTwoSidedUB is the two-sided splitters upper bound: the sum of the
+// right- and left-grounded bounds (Theorem 5); within a factor 2 of the LB.
+func (mc Machine) SplittersTwoSidedUB(n, k, a, b int64) float64 {
+	return mc.SplittersRight(a, k) + mc.SplittersLeft(n, b)
+}
+
+// PartitionRightLB is Ω(N/B): any right-grounded partitioning algorithm must
+// read everything (§3).
+func (mc Machine) PartitionRightLB(n int64) float64 {
+	return mc.scans(n)
+}
+
+// PartitionRightUB is O(N/B + (aK/B) lg_{M/B} min{K, aK/B}): Theorem 6.
+func (mc Machine) PartitionRightUB(n, k, a int64) float64 {
+	ak := float64(a) * float64(k)
+	return mc.scans(n) + ak/float64(mc.B)*mc.lgMB(math.Min(float64(k), ak/float64(mc.B)))
+}
+
+// PartitionLeft is Θ((N/B) lg_{M/B} min{N/b, N/B}): Theorems 3 and 6. Note
+// the absence of K.
+func (mc Machine) PartitionLeft(n, b int64) float64 {
+	return mc.scans(n) * mc.lgMB(math.Min(float64(n)/float64(b), float64(n)/float64(mc.B)))
+}
+
+// PartitionTwoSidedLB is the two-sided partitioning lower bound, Ω of the
+// left-grounded bound (Theorem 3).
+func (mc Machine) PartitionTwoSidedLB(n, b int64) float64 {
+	return mc.PartitionLeft(n, b)
+}
+
+// PartitionTwoSidedUB is O((aK/B) lg_{M/B} min{K, aK/B} + (N/B) lg_{M/B}
+// min{N/b, N/B}): Theorem 6.
+func (mc Machine) PartitionTwoSidedUB(n, k, a, b int64) float64 {
+	ak := float64(a) * float64(k)
+	return ak/float64(mc.B)*mc.lgMB(math.Min(float64(k), ak/float64(mc.B))) + mc.PartitionLeft(n, b)
+}
+
+// PrecisePartitionLB is Ω((N/B) lg_{M/B} min{K, N/B}): Lemma 5, the
+// multi-partition lower bound proved by machine-state counting (valid when
+// lg N <= B lg(M/B)).
+func (mc Machine) PrecisePartitionLB(n, k int64) float64 {
+	return mc.scans(n) * mc.lgMB(math.Min(float64(k), float64(n)/float64(mc.B)))
+}
+
+// ---------------------------------------------------------------------------
+// Information-theoretic floors: exact counting, no hidden constants. These
+// are true lower bounds on the number of I/Os for comparison-based
+// algorithms, directly usable against measured runs.
+
+// lg2Factorial returns lg2(x!) via the log-gamma function.
+func lg2Factorial(x float64) float64 {
+	if x < 1 {
+		return 0
+	}
+	lg, _ := math.Lgamma(x + 1)
+	return lg / math.Ln2
+}
+
+// lg2Binomial returns lg2(C(n, k)).
+func lg2Binomial(n, k float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return lg2Factorial(n) - lg2Factorial(k) - lg2Factorial(n-k)
+}
+
+// HardPermutationsLg2 returns lg2 |Π_hard| = B * lg2((N/B)!), the entropy of
+// the hard input family of §2.
+func (mc Machine) HardPermutationsLg2(n int64) float64 {
+	return float64(mc.B) * lg2Factorial(float64(n)/float64(mc.B))
+}
+
+// ReadFanoutLg2 returns lg2 C(M, B), the information revealed by one read in
+// the decision-tree argument of Lemma 1.
+func (mc Machine) ReadFanoutLg2() float64 {
+	return lg2Binomial(float64(mc.M), float64(mc.B))
+}
+
+// SortFloor is the exact comparison floor for sorting a Π_hard input:
+// H >= lg|Π_hard| / lg C(M,B) I/Os, from Lemma 1 (an algorithm distinguishing
+// all hard permutations needs that much decision-tree depth).
+func (mc Machine) SortFloor(n int64) float64 {
+	fan := mc.ReadFanoutLg2()
+	if fan <= 0 {
+		return 0
+	}
+	return mc.HardPermutationsLg2(n) / fan
+}
+
+// RightSplittersFloor is the concrete floor extracted from the §2.1 proof:
+// H * lg C(M,B) >= aK lg(K/B) - βK lg a, reported with the proof's β left at
+// its asymptotically irrelevant value 0 (the benches compare shapes, and the
+// aK lg(K/B) term is the content of Theorem 1). It also includes the
+// small-K adversary floor aK/B (the algorithm must see aK elements).
+func (mc Machine) RightSplittersFloor(a, k int64) float64 {
+	seen := float64(a) * float64(k) / float64(mc.B)
+	fan := mc.ReadFanoutLg2()
+	if fan <= 0 {
+		return seen
+	}
+	counting := float64(a) * float64(k) * math.Log2(math.Max(2, float64(k)/float64(mc.B))) / fan
+	return math.Max(seen, counting)
+}
+
+// LeftSplittersFloor is the concrete floor from §2.2:
+// H * lg C(M,B) >= |T| lg(|T|/(bB)) with |T| >= N/2, plus the adversary floor
+// N/(2B) (the algorithm must see half the input when b <= N/2).
+func (mc Machine) LeftSplittersFloor(n, b int64) float64 {
+	seen := float64(n) / (2 * float64(mc.B))
+	fan := mc.ReadFanoutLg2()
+	if fan <= 0 {
+		return seen
+	}
+	t := float64(n) / 2
+	arg := t / (float64(b) * float64(mc.B))
+	if arg <= 2 {
+		return seen
+	}
+	return math.Max(seen, t*math.Log2(arg)/fan)
+}
+
+// PrecisePartitionFloor is the machine-state counting floor of Lemmas 7-8:
+// H >= N lg K / (lg(2 N lg N) + lg C(M,B)).
+func (mc Machine) PrecisePartitionFloor(n, k int64) float64 {
+	if k < 2 || n < 2 {
+		return 0
+	}
+	nf := float64(n)
+	denom := math.Log2(2*nf*math.Log2(nf)) + mc.ReadFanoutLg2()
+	states := lg2Factorial(nf) - float64(k)*lg2Factorial(nf/float64(k))
+	return states / denom
+}

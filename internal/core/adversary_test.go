@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// These tests turn the paper's lower-bound adversary arguments into
+// executable checks on the real algorithms, via block-level read tracking:
+// an algorithm that has read r distinct blocks of the input has seen at most
+// r*B of its elements.
+//
+//   - §2.1 (small-K case of Theorem 1): any correct right-grounded
+//     K-splitters algorithm must see at least aK elements — otherwise some
+//     induced bucket could have fewer than a elements among the unseen ones.
+//   - §2.2 (small case of Theorem 2): with b <= N/2, any correct
+//     left-grounded algorithm must see at least N/2 elements — the unseen
+//     elements could otherwise all fall into one bucket, exceeding b.
+//   - §3 right-grounded partitioning: any correct algorithm must see every
+//     element at least once (an unseen element could be placed wrongly).
+//
+// The converse is checked too: our right-grounded splitters really see only
+// O(aK/B) blocks, which is the operational meaning of sublinearity.
+
+func TestAdversaryRightSplittersSeesAtLeastAK(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	n := 1 << 15
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 1)
+	ctx.Disk().TrackReads(f)
+	for _, tc := range []struct{ k, a int64 }{
+		{16, 2}, {16, 64}, {64, 32}, {8, 512},
+	} {
+		ctx.Disk().TrackReads(f) // reset tracking
+		out, err := Splitters(ctx, f, Params{K: tc.k, A: tc.a, B: int64(n)})
+		if err != nil {
+			t.Fatalf("K=%d a=%d: %v", tc.k, tc.a, err)
+		}
+		out.Release()
+		seen := int64(ctx.Disk().BlocksSeen(f)) * 32
+		if seen < tc.a*tc.k {
+			t.Errorf("K=%d a=%d: saw %d elements, adversary bound requires >= aK = %d",
+				tc.k, tc.a, seen, tc.a*tc.k)
+		}
+	}
+}
+
+func TestAdversaryRightSplittersSublinearSeen(t *testing.T) {
+	// The flip side: with a and K small the algorithm must NOT need to see
+	// much — the §2.1 floor is essentially achieved.
+	ctx := mustCtx(t, 4096, 32)
+	n := 1 << 17
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 2)
+	ctx.Disk().TrackReads(f)
+	out, err := Splitters(ctx, f, Params{K: 16, A: 8, B: int64(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Release()
+	seenBlocks := ctx.Disk().BlocksSeen(f)
+	if totalBlocks := n / 32; seenBlocks > totalBlocks/16 {
+		t.Errorf("saw %d of %d input blocks; right-grounded with aK=128 should touch a tiny fraction",
+			seenBlocks, totalBlocks)
+	}
+}
+
+func TestAdversaryLeftSplittersSeesHalf(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	n := 1 << 14
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 3)
+	for _, b := range []int64{int64(n) / 8, int64(n) / 2} {
+		ctx.Disk().TrackReads(f)
+		out, err := Splitters(ctx, f, Params{K: 16, A: 0, B: b})
+		if err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+		out.Release()
+		seen := int64(ctx.Disk().BlocksSeen(f)) * 32
+		if seen < int64(n)/2 {
+			t.Errorf("b=%d: saw %d of %d elements; Theorem 2's adversary requires >= N/2",
+				b, seen, n)
+		}
+	}
+}
+
+func TestAdversaryRightPartitioningSeesEverything(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	n := 1 << 13
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 4)
+	ctx.Disk().TrackReads(f)
+	res, err := Partition(ctx, f, Params{K: 8, A: 16, B: int64(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+	if seen, total := ctx.Disk().BlocksSeen(f), n/32; seen != total {
+		t.Errorf("saw %d of %d blocks; §3 requires reading every element", seen, total)
+	}
+}
+
+func TestAdversaryMultiPartitionBaseline(t *testing.T) {
+	// Sorting-adjacent algorithms must also see everything; a quick sanity
+	// anchor for the tracking machinery itself.
+	ctx := mustCtx(t, 4096, 32)
+	n := 1 << 12
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 5)
+	ctx.Disk().TrackReads(f)
+	res, err := Partition(ctx, f, Params{K: 4, A: 0, B: int64(n) / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+	if seen, total := ctx.Disk().BlocksSeen(f), n/32; seen != total {
+		t.Errorf("left-grounded partitioning saw %d of %d blocks", seen, total)
+	}
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func mustCtx(t *testing.T, m, b int) *emio.Ctx {
+	t.Helper()
+	ctx, err := emio.NewCtx(emio.Config{M: m, B: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		n       int64
+		p       Params
+		ok      bool
+		variant Variant
+	}{
+		{1000, Params{K: 10, A: 100, B: 100}, true, TwoSided},
+		{1000, Params{K: 10, A: 0, B: 100}, true, LeftGrounded},
+		{1000, Params{K: 10, A: 50, B: 1000}, true, RightGrounded},
+		{1000, Params{K: 10, A: 50, B: 2000}, true, RightGrounded},
+		{1000, Params{K: 10, A: 0, B: 1000}, true, LeftGrounded},
+		{1000, Params{K: 1, A: 0, B: 1000}, true, LeftGrounded},
+		{1000, Params{K: 1000, A: 1, B: 1}, true, TwoSided},
+		{1000, Params{K: 0, A: 0, B: 100}, false, 0},
+		{1000, Params{K: 1001, A: 0, B: 1}, false, 0},
+		{1000, Params{K: 3, A: 0, B: 400}, false, 0},    // N not multiple of K
+		{1000, Params{K: 10, A: 101, B: 100}, false, 0}, // a > N/K
+		{1000, Params{K: 10, A: -1, B: 100}, false, 0},
+		{1000, Params{K: 10, A: 0, B: 99}, false, 0}, // b < N/K
+		{0, Params{K: 1, A: 0, B: 1}, false, 0},
+	}
+	for _, c := range cases {
+		err := c.p.Validate(c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(n=%d, %+v) = %v, want ok=%v", c.n, c.p, err, c.ok)
+			continue
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadParams) {
+				t.Errorf("error %v not wrapped in ErrBadParams", err)
+			}
+			continue
+		}
+		if v := c.p.Variant(c.n); v != c.variant {
+			t.Errorf("Variant(n=%d, %+v) = %v, want %v", c.n, c.p, v, c.variant)
+		}
+	}
+}
+
+// runSplitters executes and verifies one splitters instance.
+func runSplitters(t *testing.T, ctx *emio.Ctx, f *emio.File, p Params) []int64 {
+	t.Helper()
+	in := f.Snapshot()
+	out, err := Splitters(ctx, f, p)
+	if err != nil {
+		t.Fatalf("Splitters(%+v): %v", p, err)
+	}
+	sizes, err := verify.Splitters(in, out.Snapshot(), p.K, p.A, p.B)
+	if err != nil {
+		t.Fatalf("Splitters(%+v) output invalid: %v", p, err)
+	}
+	out.Release()
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("Splitters(%+v) leaked %d memory", p, ctx.Mem().Used())
+	}
+	return sizes
+}
+
+// runPartition executes and verifies one partitioning instance.
+func runPartition(t *testing.T, ctx *emio.Ctx, f *emio.File, p Params) {
+	t.Helper()
+	in := f.Snapshot()
+	res, err := Partition(ctx, f, p)
+	if err != nil {
+		t.Fatalf("Partition(%+v): %v", p, err)
+	}
+	if err := verify.Partition(in, res.Data.Snapshot(), res.Sizes, p.K, p.A, p.B); err != nil {
+		t.Fatalf("Partition(%+v) output invalid: %v", p, err)
+	}
+	res.Release()
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("Partition(%+v) leaked %d memory", p, ctx.Mem().Used())
+	}
+}
+
+func TestSplittersRightGrounded(t *testing.T) {
+	n := 1 << 14
+	for _, a := range []int64{1, 2, 16, 256, int64(n) / 16} {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, 1)
+		runSplitters(t, ctx, f, Params{K: 16, A: a, B: int64(n)})
+	}
+}
+
+func TestSplittersRightGroundedSublinearIO(t *testing.T) {
+	// The headline result: with a small, right-grounded splitters must be
+	// sublinear — far fewer I/Os than one scan of the input.
+	ctx := mustCtx(t, 4096, 32)
+	n := 1 << 18
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 2)
+	ctx.Disk().ResetStats()
+	out, err := Splitters(ctx, f, Params{K: 16, A: 4, B: int64(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Release()
+	scan := int64(n / 32)
+	if got := ctx.Disk().Stats().Total(); got > scan/4 {
+		t.Errorf("right-grounded a=4 K=16 cost %d I/Os, want well under a scan (%d)", got, scan)
+	}
+}
+
+func TestSplittersLeftGrounded(t *testing.T) {
+	n := 1 << 14
+	for _, b := range []int64{int64(n) / 16, int64(n) / 4, int64(n) / 2, int64(n)} {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, 3)
+		runSplitters(t, ctx, f, Params{K: 16, A: 0, B: b})
+	}
+}
+
+func TestSplittersLeftGroundedWithPadding(t *testing.T) {
+	// K' = ceil(N/b) < K forces the padding path.
+	ctx := mustCtx(t, 4096, 32)
+	n := 1 << 14
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 4)
+	sizes := runSplitters(t, ctx, f, Params{K: 64, A: 0, B: int64(n) / 4})
+	if len(sizes) != 64 {
+		t.Fatalf("got %d buckets", len(sizes))
+	}
+}
+
+func TestSplittersLeftGroundedSortFallback(t *testing.T) {
+	// Tiny M makes K'-1 > M/4, triggering the sort-based padding path.
+	ctx := mustCtx(t, 256, 8)
+	n := 1 << 13
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 5)
+	// b = 32 -> K' = 256 > M/4 = 64; K = 512 > K' forces padding.
+	runSplitters(t, ctx, f, Params{K: 512, A: 0, B: 32})
+}
+
+func TestSplittersTwoSided(t *testing.T) {
+	n := 1 << 14
+	k := int64(16)
+	cases := []Params{
+		{K: k, A: int64(n) / int64(k), B: int64(n) / int64(k)},     // exact quantile (a=b=N/K)
+		{K: k, A: int64(n) / 32, B: int64(n) / 8},                  // wide margins
+		{K: k, A: 4, B: int64(n) / 4},                              // narrow a, generous b
+		{K: k, A: int64(n)/int64(k) - 1, B: int64(n)/int64(k) + 1}, // almost exact
+		{K: k, A: 1, B: int64(n) / 2},
+	}
+	for i, p := range cases {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, uint64(10+i))
+		runSplitters(t, ctx, f, p)
+	}
+}
+
+func TestSplittersK1(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	f := workload.File(ctx.Disk(), workload.Uniform, 1000, 6)
+	out, err := Splitters(ctx, f, Params{K: 1, A: 0, B: 1000})
+	if err != nil || out.Len() != 0 {
+		t.Fatalf("K=1: len=%d err=%v", out.Len(), err)
+	}
+}
+
+func TestSplittersAllWorkloads(t *testing.T) {
+	n := 1 << 13
+	for _, kind := range workload.Kinds() {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), kind, n, 7)
+		runSplitters(t, ctx, f, Params{K: 8, A: int64(n) / 32, B: int64(n) / 2})
+	}
+}
+
+func TestPartitionRightGrounded(t *testing.T) {
+	n := 1 << 13
+	for _, a := range []int64{0, 1, 64, int64(n) / 8} {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, 8)
+		runPartition(t, ctx, f, Params{K: 8, A: a, B: int64(n)})
+	}
+}
+
+func TestPartitionLeftGrounded(t *testing.T) {
+	n := 1 << 13
+	for _, b := range []int64{int64(n) / 8, int64(n) / 2, int64(n)} {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, 9)
+		runPartition(t, ctx, f, Params{K: 8, A: 0, B: b})
+	}
+}
+
+func TestPartitionTwoSided(t *testing.T) {
+	n := 1 << 13
+	k := int64(8)
+	cases := []Params{
+		{K: k, A: int64(n) / int64(k), B: int64(n) / int64(k)},
+		{K: k, A: int64(n) / 32, B: int64(n) / 4},
+		{K: k, A: 2, B: int64(n) / 2},
+	}
+	for i, p := range cases {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, uint64(20+i))
+		runPartition(t, ctx, f, p)
+	}
+}
+
+func TestPartitionAllWorkloads(t *testing.T) {
+	n := 1 << 12
+	for _, kind := range workload.Kinds() {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), kind, n, 11)
+		runPartition(t, ctx, f, Params{K: 8, A: int64(n) / 32, B: int64(n) / 2})
+	}
+}
+
+func TestPartitionKEqualsN(t *testing.T) {
+	// K = N degenerates to sorting (every partition is one element).
+	ctx := mustCtx(t, 1024, 16)
+	n := 512
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 12)
+	in := f.Snapshot()
+	res, err := Partition(ctx, f, Params{K: int64(n), A: 1, B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.SameMultiset(res.Data.Snapshot(), in); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Sorted(res.Data.Snapshot()); err != nil {
+		t.Fatalf("K=N output not sorted: %v", err)
+	}
+}
+
+func TestPartitionRejectsBadParams(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	f := workload.File(ctx.Disk(), workload.Uniform, 1000, 13)
+	bad := []Params{
+		{K: 0, A: 0, B: 1000},
+		{K: 3, A: 0, B: 1000},   // not a divisor
+		{K: 10, A: 200, B: 500}, // a > N/K
+		{K: 10, A: 0, B: 50},    // b < N/K
+	}
+	for _, p := range bad {
+		if _, err := Partition(ctx, f, p); err == nil {
+			t.Errorf("Partition accepted %+v", p)
+		}
+		if _, err := Splitters(ctx, f, p); err == nil {
+			t.Errorf("Splitters accepted %+v", p)
+		}
+	}
+}
+
+func TestPrecisePartitionViaApprox(t *testing.T) {
+	for _, tc := range []struct{ n, b int }{
+		{1 << 13, 1 << 10}, {1 << 13, 100}, {1000, 1}, {1000, 1000}, {1000, 999},
+	} {
+		ctx := mustCtx(t, 2048, 16)
+		f := workload.File(ctx.Disk(), workload.Uniform, tc.n, uint64(tc.b))
+		in := f.Snapshot()
+		out, err := PrecisePartitionViaApprox(ctx, f, int64(tc.b))
+		if err != nil {
+			t.Fatalf("n=%d b=%d: %v", tc.n, tc.b, err)
+		}
+		if err := verify.PrecisePartition(in, out.Snapshot(), int64(tc.b)); err != nil {
+			t.Fatalf("n=%d b=%d: %v", tc.n, tc.b, err)
+		}
+		out.Release()
+		if ctx.Mem().Used() != 0 {
+			t.Fatalf("n=%d b=%d: leaked %d", tc.n, tc.b, ctx.Mem().Used())
+		}
+	}
+}
+
+func TestPrecisePartitionRejectsBadB(t *testing.T) {
+	ctx := mustCtx(t, 2048, 16)
+	f := workload.File(ctx.Disk(), workload.Uniform, 100, 1)
+	if _, err := PrecisePartitionViaApprox(ctx, f, 0); err == nil {
+		t.Error("b=0 accepted")
+	}
+}
+
+func TestSplittersInputUntouched(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	f := workload.File(ctx.Disk(), workload.Uniform, 4096, 14)
+	in := f.Snapshot()
+	if _, err := Splitters(ctx, f, Params{K: 8, A: 100, B: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Snapshot()
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestSplittersProperty(t *testing.T) {
+	prop := func(seed uint64, rawK, rawA, rawB uint16) bool {
+		n := int64(4096)
+		divisors := []int64{1, 2, 4, 8, 16, 32, 64, 128}
+		k := divisors[int(rawK)%len(divisors)]
+		a := int64(rawA) % (n/k + 1)
+		b := n/k + int64(rawB)%(n-n/k+1)
+		p := Params{K: k, A: a, B: b}
+		ctx, err := emio.NewCtx(emio.Config{M: 2048, B: 16})
+		if err != nil {
+			return false
+		}
+		f := workload.File(ctx.Disk(), workload.Uniform, int(n), seed)
+		in := f.Snapshot()
+		out, err := Splitters(ctx, f, p)
+		if err != nil {
+			return false
+		}
+		_, verr := verify.Splitters(in, out.Snapshot(), p.K, p.A, p.B)
+		out.Release()
+		return verr == nil && ctx.Mem().Used() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	prop := func(seed uint64, rawK, rawA, rawB uint16) bool {
+		n := int64(2048)
+		divisors := []int64{1, 2, 4, 8, 16, 32, 64}
+		k := divisors[int(rawK)%len(divisors)]
+		a := int64(rawA) % (n/k + 1)
+		b := n/k + int64(rawB)%(n-n/k+1)
+		p := Params{K: k, A: a, B: b}
+		ctx, err := emio.NewCtx(emio.Config{M: 2048, B: 16})
+		if err != nil {
+			return false
+		}
+		f := workload.File(ctx.Disk(), workload.FewDistinct, int(n), seed)
+		in := f.Snapshot()
+		res, err := Partition(ctx, f, p)
+		if err != nil {
+			return false
+		}
+		verr := verify.Partition(in, res.Data.Snapshot(), res.Sizes, p.K, p.A, p.B)
+		res.Release()
+		return verr == nil && ctx.Mem().Used() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplittersTwoSidedKPrimeBoundaries(t *testing.T) {
+	// Exercise K' at both ends of its (1, K) range: K' is floor((bK-N)/(b-a)),
+	// so a near-N/2K with b just over 2N/K pushes K' low, and a tiny a with
+	// huge b pushes K' toward K-1.
+	n := 1 << 14
+	k := int64(16)
+	nk := int64(n) / k
+	cases := []Params{
+		{K: k, A: nk/2 - 1, B: 2*int64(n)/k + int64(n)/64}, // barely narrow
+		{K: k, A: 1, B: int64(n) - 1},                      // K' near K-1
+		{K: k, A: 2, B: 2*int64(n)/k + 2},                  // b barely above 2N/K
+	}
+	for i, p := range cases {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, uint64(40+i))
+		runSplitters(t, ctx, f, p)
+	}
+}
+
+func TestSplittersSortFallbackNonDividingB(t *testing.T) {
+	// The sorted-pass fallback with b not dividing n and heavy padding.
+	ctx := mustCtx(t, 256, 8)
+	n := 6000 // K = 1000 divides it; b = 7 does not
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 50)
+	runSplitters(t, ctx, f, Params{K: 1000, A: 0, B: 7})
+}
+
+func TestPartitionA1EveryVariant(t *testing.T) {
+	// a = 1 is the smallest nontrivial lower bound (the right-grounded
+	// lower-bound argument in §3 starts at a >= 1).
+	n := 1 << 12
+	for i, p := range []Params{
+		{K: 16, A: 1, B: int64(n)},
+		{K: 16, A: 1, B: int64(n) / 2},
+	} {
+		ctx := mustCtx(t, 2048, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, uint64(60+i))
+		runPartition(t, ctx, f, p)
+	}
+}
+
+func TestSplittersKEqualsNDegenerate(t *testing.T) {
+	// §1.1: at K = N the problem degenerates (a = b = 1 forces the exact
+	// order); the library handles it through the general machinery.
+	ctx := mustCtx(t, 2048, 32)
+	n := 256
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 70)
+	runSplitters(t, ctx, f, Params{K: int64(n), A: 1, B: 1})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// Native fuzz targets: the fuzzer mutates machine shape, problem parameters
+// and workload; every accepted configuration must produce verified output
+// with no memory leak, and every rejected one must fail cleanly. The seed
+// corpus doubles as a regression suite under plain `go test`.
+
+// clampParams derives a valid (K, a, b) from raw fuzz bytes, or reports an
+// intentionally invalid combination (which must be rejected).
+func clampParams(n int64, rawK, rawA, rawB uint16) Params {
+	divisors := []int64{1, 2, 4, 8, 16, 32, 64}
+	k := divisors[int(rawK)%len(divisors)]
+	a := int64(rawA) % (n/k + 1)
+	b := n/k + int64(rawB)%(n+1)
+	return Params{K: k, A: a, B: b}
+}
+
+func FuzzSplitters(f *testing.F) {
+	f.Add(uint16(3), uint16(10), uint16(100), uint8(0), uint64(1))
+	f.Add(uint16(0), uint16(0), uint16(0), uint8(1), uint64(2))
+	f.Add(uint16(6), uint16(500), uint16(0), uint8(7), uint64(3))
+	f.Add(uint16(2), uint16(65535), uint16(65535), uint8(4), uint64(4))
+	f.Fuzz(func(t *testing.T, rawK, rawA, rawB uint16, kindRaw uint8, seed uint64) {
+		n := int64(2048)
+		p := clampParams(n, rawK, rawA, rawB)
+		kinds := workload.Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		ctx, err := emio.NewCtx(emio.Config{M: 1024, B: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := workload.File(ctx.Disk(), kind, int(n), seed)
+		in := file.Snapshot()
+		out, err := Splitters(ctx, file, p)
+		if err != nil {
+			if ctx.Mem().Used() != 0 {
+				t.Fatalf("error path leaked %d", ctx.Mem().Used())
+			}
+			return // invalid parameters are allowed to be rejected
+		}
+		if _, verr := verify.Splitters(in, out.Snapshot(), p.K, p.A, p.B); verr != nil {
+			t.Fatalf("params %+v kind %v: %v", p, kind, verr)
+		}
+		out.Release()
+		if ctx.Mem().Used() != 0 {
+			t.Fatalf("leaked %d", ctx.Mem().Used())
+		}
+	})
+}
+
+func FuzzPartition(f *testing.F) {
+	f.Add(uint16(3), uint16(10), uint16(100), uint8(0), uint64(1))
+	f.Add(uint16(5), uint16(0), uint16(1), uint8(3), uint64(2))
+	f.Add(uint16(1), uint16(2048), uint16(0), uint8(6), uint64(3))
+	f.Fuzz(func(t *testing.T, rawK, rawA, rawB uint16, kindRaw uint8, seed uint64) {
+		n := int64(2048)
+		p := clampParams(n, rawK, rawA, rawB)
+		kinds := workload.Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		ctx, err := emio.NewCtx(emio.Config{M: 1024, B: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := workload.File(ctx.Disk(), kind, int(n), seed)
+		in := file.Snapshot()
+		res, err := Partition(ctx, file, p)
+		if err != nil {
+			if ctx.Mem().Used() != 0 {
+				t.Fatalf("error path leaked %d", ctx.Mem().Used())
+			}
+			return
+		}
+		if verr := verify.Partition(in, res.Data.Snapshot(), res.Sizes, p.K, p.A, p.B); verr != nil {
+			t.Fatalf("params %+v kind %v: %v", p, kind, verr)
+		}
+		res.Release()
+		if ctx.Mem().Used() != 0 {
+			t.Fatalf("leaked %d", ctx.Mem().Used())
+		}
+	})
+}
+
+func FuzzPrecisePartition(f *testing.F) {
+	f.Add(uint16(1), uint8(0), uint64(1))
+	f.Add(uint16(2048), uint8(2), uint64(2))
+	f.Add(uint16(7), uint8(5), uint64(3))
+	f.Fuzz(func(t *testing.T, rawB uint16, kindRaw uint8, seed uint64) {
+		n := int64(1024)
+		b := int64(rawB)%n + 1
+		kinds := workload.Kinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		ctx, err := emio.NewCtx(emio.Config{M: 512, B: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := workload.File(ctx.Disk(), kind, int(n), seed)
+		in := file.Snapshot()
+		out, err := PrecisePartitionViaApprox(ctx, file, b)
+		if err != nil {
+			t.Fatalf("b=%d kind %v: %v", b, kind, err)
+		}
+		if verr := verify.PrecisePartition(in, out.Snapshot(), b); verr != nil {
+			t.Fatalf("b=%d kind %v: %v", b, kind, verr)
+		}
+		out.Release()
+		if ctx.Mem().Used() != 0 {
+			t.Fatalf("leaked %d", ctx.Mem().Used())
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/ordercount"
+)
+
+// These tests rebuild, from the actual comparison transcript of an
+// execution, the partial order ≺* the algorithm has learned about the input
+// (§2 of the paper), and check the combinatorial facts the lower-bound
+// proofs derive for any correct comparison-based algorithm:
+//
+//   - Fact 2 (right-grounded, a >= 2): the returned splitters must be
+//     pairwise comparable in ≺* — otherwise the adversary could slide two
+//     splitters together and leave a bucket with one element.
+//   - Fact 6 (left-grounded): among the non-splitter elements, every set of
+//     pairwise ≺*-incomparable elements has size at most b — an incomparable
+//     set could be placed consecutively inside one bucket.
+//
+// Derived records created by the algorithms keep their source element's key,
+// and the inputs here have unique keys, so mapping transcript pairs back to
+// input elements by key captures everything the algorithm learned.
+
+// transcriptPoset runs fn while recording comparisons between input keys and
+// returns the learned order over the input's indices.
+func transcriptPoset(t *testing.T, keys []int64, fn func()) *ordercount.Poset {
+	t.Helper()
+	idx := make(map[int64]int, len(keys))
+	for i, k := range keys {
+		idx[k] = i
+	}
+	p, err := ordercount.New(len(keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emio.SetCompareHook(func(lo, hi emio.Elem) {
+		i, iok := idx[lo.Key]
+		j, jok := idx[hi.Key]
+		if !iok || !jok || i == j {
+			return
+		}
+		if !p.Less(i, j) {
+			if err := p.AddLess(i, j); err != nil {
+				t.Fatalf("inconsistent transcript: %v", err)
+			}
+		}
+	})
+	defer emio.SetCompareHook(nil)
+	fn()
+	return p
+}
+
+func uniqueKeyInput(n int, rng *rand.Rand) ([]int64, []emio.Elem) {
+	keys := rng.Perm(n * 8)
+	elems := make([]emio.Elem, n)
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = int64(keys[i])
+		elems[i] = emio.Elem{Key: int64(keys[i]), Aux: int64(i)}
+	}
+	return out, elems
+}
+
+func TestTranscriptFact2RightGroundedSplittersComparable(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 5; trial++ {
+		n := 16
+		keys, elems := uniqueKeyInput(n, rng)
+		ctx := mustCtx(t, 16, 4) // tiny memory (M/3 = 5 < n): the algorithm cannot just load and sort in RAM
+		f := emio.BuildFile(ctx.Disk(), "t", elems)
+		var splitters []emio.Elem
+		p := transcriptPoset(t, keys, func() {
+			out, err := Splitters(ctx, f, Params{K: 4, A: 2, B: int64(n)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			splitters = out.Snapshot()
+			out.Release()
+		})
+		idx := make(map[int64]int)
+		for i, k := range keys {
+			idx[k] = i
+		}
+		for a := 0; a < len(splitters); a++ {
+			for b := a + 1; b < len(splitters); b++ {
+				i, j := idx[splitters[a].Key], idx[splitters[b].Key]
+				if !p.Comparable(i, j) {
+					t.Fatalf("trial %d: splitters %v and %v incomparable in the learned order (Fact 2)",
+						trial, splitters[a], splitters[b])
+				}
+			}
+		}
+	}
+}
+
+func TestTranscriptFact6LeftGroundedWidthAtMostB(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 5; trial++ {
+		n := 16
+		b := int64(4)
+		keys, elems := uniqueKeyInput(n, rng)
+		ctx := mustCtx(t, 16, 4)
+		f := emio.BuildFile(ctx.Disk(), "t", elems)
+		var splitters []emio.Elem
+		p := transcriptPoset(t, keys, func() {
+			out, err := Splitters(ctx, f, Params{K: int64(n) / b, A: 0, B: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			splitters = out.Snapshot()
+			out.Release()
+		})
+		// Induce the learned order on the non-splitter elements.
+		isSplitter := make(map[int64]bool)
+		for _, s := range splitters {
+			isSplitter[s.Key] = true
+		}
+		var mask uint32
+		for i, k := range keys {
+			if !isSplitter[k] {
+				mask |= 1 << i
+			}
+		}
+		_, width := p.Induce(mask).MaxAntichain()
+		if width > int(b) {
+			t.Fatalf("trial %d: non-splitter width %d > b=%d (Fact 6)", trial, width, b)
+		}
+	}
+}
+
+func TestTranscriptSortLearnsTotalOrder(t *testing.T) {
+	// Sanity anchor for the tracing machinery: a full sort must learn a
+	// total order (width 1).
+	rng := rand.New(rand.NewPCG(3, 3))
+	n := 12
+	keys, elems := uniqueKeyInput(n, rng)
+	ctx := mustCtx(t, 24, 4) // the reduction holds three streams at once
+	f := emio.BuildFile(ctx.Disk(), "t", elems)
+	var sorted []emio.Elem
+	p := transcriptPoset(t, keys, func() {
+		out, err := PrecisePartitionViaApprox(ctx, f, 1) // b=1: full sorting
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted = out.Snapshot()
+		out.Release()
+	})
+	for i := 1; i < len(sorted); i++ {
+		if emio.Less(sorted[i], sorted[i-1]) {
+			t.Fatal("output not sorted")
+		}
+	}
+	if _, w := p.MaxAntichain(); w != 1 {
+		t.Errorf("sorting left width %d, want 1 (total order learned)", w)
+	}
+}

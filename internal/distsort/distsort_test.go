@@ -1,0 +1,147 @@
+package distsort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+	"repro/internal/extsort"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func mustCtx(t *testing.T, m, b int) *emio.Ctx {
+	t.Helper()
+	ctx, err := emio.NewCtx(emio.Config{M: m, B: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func checkSort(t *testing.T, ctx *emio.Ctx, in []emio.Elem, out *emio.File) {
+	t.Helper()
+	got := out.Snapshot()
+	if err := verify.Sorted(got); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.SameMultiset(got, in); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("leaked %d memory", ctx.Mem().Used())
+	}
+}
+
+func TestSortAllWorkloads(t *testing.T) {
+	n := 1 << 14
+	for _, kind := range workload.Kinds() {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), kind, n, 1)
+		in := f.Snapshot()
+		out, err := Sort(ctx, f)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		checkSort(t, ctx, in, out)
+	}
+}
+
+func TestSortSmallSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 1000} {
+		ctx := mustCtx(t, 4096, 32)
+		f := workload.File(ctx.Disk(), workload.Uniform, n, 2)
+		in := f.Snapshot()
+		out, err := Sort(ctx, f)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkSort(t, ctx, in, out)
+	}
+}
+
+func TestSortDeepRecursion(t *testing.T) {
+	// Large N over small memory: multiple distribution levels.
+	ctx := mustCtx(t, 1024, 16)
+	n := 1 << 17
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 3)
+	in := f.Snapshot()
+	out, err := Sort(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSort(t, ctx, in, out)
+	if ctx.Mem().Peak() > 1024 {
+		t.Errorf("peak memory %d over M=1024", ctx.Mem().Peak())
+	}
+}
+
+func TestSortCostComparableToMergeSort(t *testing.T) {
+	// Both are Θ((N/B) lg_{M/B}(N/B)); distribution must land within a small
+	// factor of merge.
+	n := 1 << 16
+	ctx := mustCtx(t, 2048, 32)
+	f := workload.File(ctx.Disk(), workload.Uniform, n, 4)
+	ctx.Disk().ResetStats()
+	out, err := Sort(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Release()
+	distIO := ctx.Disk().Stats().Total()
+
+	ctx2 := mustCtx(t, 2048, 32)
+	f2 := workload.File(ctx2.Disk(), workload.Uniform, n, 4)
+	ctx2.Disk().ResetStats()
+	out2, err := extsort.Sort(ctx2, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2.Release()
+	mergeIO := ctx2.Disk().Stats().Total()
+
+	if distIO > 4*mergeIO {
+		t.Errorf("distribution sort %d I/Os vs merge %d: more than 4x apart", distIO, mergeIO)
+	}
+}
+
+func TestSortInputUntouched(t *testing.T) {
+	ctx := mustCtx(t, 4096, 32)
+	f := workload.File(ctx.Disk(), workload.Uniform, 5000, 5)
+	in := f.Snapshot()
+	if _, err := Sort(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Snapshot()
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	prop := func(keys []int64) bool {
+		ctx, err := emio.NewCtx(emio.Config{M: 1024, B: 16})
+		if err != nil {
+			return false
+		}
+		in := make([]emio.Elem, len(keys))
+		for i, k := range keys {
+			in[i] = emio.Elem{Key: k % 64, Aux: int64(i)}
+		}
+		f := emio.BuildFile(ctx.Disk(), "p", in)
+		out, err := Sort(ctx, f)
+		if err != nil {
+			return false
+		}
+		got := out.Snapshot()
+		if verify.Sorted(got) != nil || verify.SameMultiset(got, in) != nil {
+			return false
+		}
+		return ctx.Mem().Used() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

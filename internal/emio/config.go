@@ -1,0 +1,55 @@
+package emio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config fixes the parameters of the external-memory machine.
+//
+// M is the internal memory capacity and B the block size, both in elements.
+// The model requires M >= 2B (the machine must at least hold two blocks).
+type Config struct {
+	M int // memory capacity, in elements
+	B int // block size, in elements
+}
+
+// ErrBadConfig is wrapped by all Config validation errors.
+var ErrBadConfig = errors.New("emio: invalid configuration")
+
+// Validate checks the model constraints: B >= 1 and M >= 2B.
+func (c Config) Validate() error {
+	if c.B < 1 {
+		return fmt.Errorf("%w: block size B=%d, need B >= 1", ErrBadConfig, c.B)
+	}
+	if c.M < 2*c.B {
+		return fmt.Errorf("%w: memory M=%d with block size B=%d, need M >= 2B", ErrBadConfig, c.M, c.B)
+	}
+	return nil
+}
+
+// Blocks returns the number of blocks needed to store n elements,
+// i.e. ceil(n/B). Zero elements need zero blocks.
+func (c Config) Blocks(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + int64(c.B) - 1) / int64(c.B)
+}
+
+// FanOut returns the largest k such that k block buffers plus slack spare
+// elements fit in memory: k = floor((M - spare) / B). It never returns less
+// than 1 so callers can always make progress (a degenerate fan-out of 1 only
+// slows an algorithm down; it cannot break correctness).
+func (c Config) FanOut(spare int) int {
+	k := (c.M - spare) / c.B
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// String renders the configuration as "M=… B=…".
+func (c Config) String() string {
+	return fmt.Sprintf("M=%d B=%d", c.M, c.B)
+}

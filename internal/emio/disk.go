@@ -1,0 +1,139 @@
+package emio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Disk is a simulated block device. It stores files as slices of blocks,
+// counts every block transfer, and optionally injects faults for
+// failure-path testing.
+//
+// A Disk is not safe for concurrent use; the EM model is sequential and so is
+// every algorithm built on it.
+type Disk struct {
+	blockSize int
+	store     blockStore
+	stats     Stats
+
+	// Fault hooks. When non-nil they are consulted on every transfer; a
+	// non-nil return aborts the transfer with that error. The transfer is
+	// still counted (a failed I/O is an I/O).
+	readFault  func(f *File, block int) error
+	writeFault func(f *File, block int) error
+
+	fileSeq int64 // names for anonymous files
+
+	// Disk-space accounting: the EM model's disk is unbounded, but scratch
+	// footprint is a real resource; liveBlocks counts blocks of unreleased
+	// files and peakLive its high-water mark.
+	liveBlocks int64
+	peakLive   int64
+
+	// Read tracking, used by the executable adversary arguments: for a
+	// tracked file, the set of distinct blocks ever read is recorded, which
+	// bounds the number of input elements an algorithm has "seen" in the
+	// sense of the paper's §2-§3 lower-bound proofs.
+	tracked map[*File]map[int]bool
+}
+
+// ErrReleased is returned when accessing a File whose storage was released.
+var ErrReleased = errors.New("emio: file has been released")
+
+// NewDisk creates a memory-backed disk with the given block size in
+// elements.
+func NewDisk(blockSize int) *Disk {
+	if blockSize < 1 {
+		panic(fmt.Sprintf("emio.NewDisk: block size %d < 1", blockSize))
+	}
+	return &Disk{blockSize: blockSize, store: memStore{}}
+}
+
+// NewFileBackedDisk creates a disk whose blocks live in a real file at path
+// (created or truncated), so every counted block transfer is an actual
+// positioned read or write of 16-byte records. Close the disk when done.
+func NewFileBackedDisk(path string, blockSize int) (*Disk, error) {
+	if blockSize < 1 {
+		return nil, fmt.Errorf("emio: block size %d < 1", blockSize)
+	}
+	st, err := newFileStore(path, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Disk{blockSize: blockSize, store: st}, nil
+}
+
+// Close releases backend resources (the backing file for file-backed disks;
+// a no-op for memory-backed ones).
+func (d *Disk) Close() error { return d.store.close() }
+
+// BlockSize returns the block size B in elements.
+func (d *Disk) BlockSize() int { return d.blockSize }
+
+// Stats returns a snapshot of the I/O counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the I/O counters. Benchmarks call this after building
+// their inputs so that only the algorithm under test is measured.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// SetReadFault installs (or, with nil, removes) a read fault hook.
+func (d *Disk) SetReadFault(hook func(f *File, block int) error) { d.readFault = hook }
+
+// SetWriteFault installs (or, with nil, removes) a write fault hook.
+func (d *Disk) SetWriteFault(hook func(f *File, block int) error) { d.writeFault = hook }
+
+// LiveBlocks returns the number of blocks currently held by unreleased
+// files: the live disk footprint.
+func (d *Disk) LiveBlocks() int64 { return d.liveBlocks }
+
+// PeakLiveBlocks returns the high-water mark of the live disk footprint —
+// the scratch space an algorithm really needed. ResetPeakLive lowers it to
+// the current level so one phase can be measured in isolation.
+func (d *Disk) PeakLiveBlocks() int64 { return d.peakLive }
+
+// ResetPeakLive lowers the disk-footprint high-water mark to current usage.
+func (d *Disk) ResetPeakLive() { d.peakLive = d.liveBlocks }
+
+// noteAlloc and noteFree maintain the footprint counters.
+func (d *Disk) noteAlloc(blocks int64) {
+	d.liveBlocks += blocks
+	if d.liveBlocks > d.peakLive {
+		d.peakLive = d.liveBlocks
+	}
+}
+
+func (d *Disk) noteFree(blocks int64) { d.liveBlocks -= blocks }
+
+// TrackReads starts recording which distinct blocks of f are read. Used by
+// the adversary-argument tests: an algorithm that has read r blocks of the
+// input has seen at most r*B of its elements.
+func (d *Disk) TrackReads(f *File) {
+	if d.tracked == nil {
+		d.tracked = make(map[*File]map[int]bool)
+	}
+	d.tracked[f] = make(map[int]bool)
+}
+
+// BlocksSeen returns how many distinct blocks of a tracked file have been
+// read since TrackReads (zero for untracked files).
+func (d *Disk) BlocksSeen(f *File) int {
+	return len(d.tracked[f])
+}
+
+// noteRead records a block read for tracked files.
+func (d *Disk) noteRead(f *File, block int) {
+	if set, ok := d.tracked[f]; ok {
+		set[block] = true
+	}
+}
+
+// NewFile creates an empty file on the disk. The name is used only in error
+// messages; an empty name is replaced by a generated one.
+func (d *Disk) NewFile(name string) *File {
+	if name == "" {
+		d.fileSeq++
+		name = fmt.Sprintf("file-%d", d.fileSeq)
+	}
+	return &File{disk: d, name: name}
+}

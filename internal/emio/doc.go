@@ -1,0 +1,35 @@
+// Package emio implements the external-memory (EM) computation model of
+// Aggarwal and Vitter, the substrate on which every algorithm in this
+// repository runs.
+//
+// The model: a machine with an internal memory of M elements and a disk
+// formatted into blocks of B elements, M >= 2B. One I/O transfers one block
+// between memory and disk. The cost of an algorithm is the number of I/Os it
+// performs; CPU work is free. Algorithms are comparison-based and respect the
+// indivisibility assumption: records move as whole units.
+//
+// (The paper states M and B in words; an element here is a fixed two-word
+// record, so the translation is a constant factor that affects no bound. The
+// paper itself counts "N/B input blocks, each with B elements", which is the
+// convention adopted here.)
+//
+// The package provides:
+//
+//   - Disk: a simulated block device that counts block reads and writes and
+//     supports fault injection for failure-path testing.
+//   - File: a sequence of elements stored in blocks on a Disk, with
+//     block-granular access only.
+//   - Reader and Writer: buffered sequential element streams; they charge one
+//     I/O per block touched, so a full scan of n elements costs
+//     ceil(n/B) I/Os.
+//   - Accountant: a memory-budget meter. Every in-memory buffer visible to an
+//     algorithm is allocated through the Accountant; exceeding M is an error.
+//     Tests run with the accountant armed, making "the algorithm fits in
+//     memory M" a tested invariant rather than a comment.
+//   - Ctx: bundles a Disk, an Accountant and the (M, B) configuration, and
+//     hands out scratch files.
+//
+// Elements are ordered by (Key, Aux); workload generators assign each element
+// a unique Aux, so the order is total and duplicate keys need no special
+// casing inside the algorithms.
+package emio

@@ -1,0 +1,141 @@
+package emio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// File is a sequence of elements stored on a Disk in blocks of B elements.
+// Every block is full except possibly the last one (a short block seals the
+// file). Access is block-granular and charged against the disk's I/O
+// counters; the streaming Reader and Writer types are the intended interface
+// for algorithms.
+//
+// Storage lives in the Disk's block store — host memory by default, a real
+// backing file for disks created with NewFileBackedDisk. The File itself
+// holds only metadata (directory information, free in the model).
+type File struct {
+	disk     *Disk
+	name     string
+	n        int64
+	nblocks  int
+	sealed   bool
+	released bool
+
+	mem     [][]Elem // memStore payloads
+	extents []int64  // fileStore block offsets
+}
+
+// Errors returned by block-level file operations.
+var (
+	ErrBlockRange   = errors.New("emio: block index out of range")
+	ErrPartialBlock = errors.New("emio: cannot append after a partial block")
+	ErrBlockSize    = errors.New("emio: block payload exceeds block size")
+)
+
+// Name returns the file's diagnostic name.
+func (f *File) Name() string { return f.name }
+
+// Len returns the number of elements in the file.
+func (f *File) Len() int64 { return f.n }
+
+// NumBlocks returns the number of blocks occupied by the file.
+func (f *File) NumBlocks() int { return f.nblocks }
+
+// Disk returns the disk the file lives on.
+func (f *File) Disk() *Disk { return f.disk }
+
+// Released reports whether the file's storage has been released.
+func (f *File) Released() bool { return f.released }
+
+// Release drops the file's storage. The EM model has unbounded disk, but the
+// simulation does not; algorithms release scratch files as soon as they are
+// consumed so that peak host resources stay proportional to live data.
+// Releasing costs no I/Os (deallocation is metadata work). A released file
+// must not be accessed again.
+func (f *File) Release() {
+	f.disk.store.release(f)
+	f.disk.noteFree(int64(f.nblocks))
+	f.n = 0
+	f.nblocks = 0
+	f.released = true
+}
+
+// blockLen returns the element count of block i without bounds checking:
+// every block is full except the last.
+func (f *File) blockLen(i int) int {
+	if i == f.nblocks-1 {
+		return int(f.n - int64(f.nblocks-1)*int64(f.disk.blockSize))
+	}
+	return f.disk.blockSize
+}
+
+// ReadBlock copies block i into buf and returns the number of elements
+// copied. It charges exactly one read I/O, even when the block is the
+// partial last block or when a fault hook aborts the transfer.
+// buf must have capacity for a full block.
+func (f *File) ReadBlock(i int, buf []Elem) (int, error) {
+	if f.released {
+		return 0, fmt.Errorf("%w (%s)", ErrReleased, f.name)
+	}
+	if i < 0 || i >= f.nblocks {
+		return 0, fmt.Errorf("%w: block %d of %d in %s", ErrBlockRange, i, f.nblocks, f.name)
+	}
+	f.disk.stats.Reads++
+	f.disk.noteRead(f, i)
+	if hook := f.disk.readFault; hook != nil {
+		if err := hook(f, i); err != nil {
+			return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
+		}
+	}
+	n, err := f.disk.store.read(f, i, buf)
+	if err != nil {
+		return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
+	}
+	return n, nil
+}
+
+// AppendBlock appends a block containing the given elements and charges one
+// write I/O. A block shorter than B elements seals the file: nothing may be
+// appended after it (blocks other than the last must be full).
+func (f *File) AppendBlock(payload []Elem) error {
+	if f.released {
+		return fmt.Errorf("%w (%s)", ErrReleased, f.name)
+	}
+	b := f.disk.blockSize
+	if len(payload) > b {
+		return fmt.Errorf("%w: %d > B=%d in %s", ErrBlockSize, len(payload), b, f.name)
+	}
+	if f.sealed {
+		return fmt.Errorf("%w (%s)", ErrPartialBlock, f.name)
+	}
+	f.disk.stats.Writes++
+	if hook := f.disk.writeFault; hook != nil {
+		if err := hook(f, f.nblocks); err != nil {
+			return fmt.Errorf("emio: write %s block %d: %w", f.name, f.nblocks, err)
+		}
+	}
+	if err := f.disk.store.append(f, payload); err != nil {
+		return fmt.Errorf("emio: write %s block %d: %w", f.name, f.nblocks, err)
+	}
+	f.nblocks++
+	f.disk.noteAlloc(1)
+	f.n += int64(len(payload))
+	if len(payload) < b {
+		f.sealed = true
+	}
+	return nil
+}
+
+// BlockLen returns the number of elements stored in block i without
+// performing an I/O (block directory metadata is memory-resident, as in any
+// real file system).
+func (f *File) BlockLen(i int) (int, error) {
+	if f.released {
+		return 0, fmt.Errorf("%w (%s)", ErrReleased, f.name)
+	}
+	if i < 0 || i >= f.nblocks {
+		return 0, fmt.Errorf("%w: block %d of %d in %s", ErrBlockRange, i, f.nblocks, f.name)
+	}
+	return f.blockLen(i), nil
+}

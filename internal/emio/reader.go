@@ -1,0 +1,86 @@
+package emio
+
+// Reader streams the elements of a File sequentially, one block buffer at a
+// time. Reading n elements costs ceil(n/B) read I/Os (plus nothing for the
+// blocks never reached). The buffer is charged against the memory budget for
+// the Reader's lifetime; Close releases it.
+//
+// Errors are sticky, in the style of bufio.Scanner: Next reports exhaustion,
+// and Err distinguishes a clean end of file from an I/O failure.
+type Reader struct {
+	ctx  *Ctx
+	f    *File
+	buf  []Elem
+	blk  int // next block index to fetch
+	off  int // next element offset within buf
+	fill int // valid elements in buf
+	err  error
+}
+
+// NewReader opens a sequential reader over f, allocating one block buffer.
+func NewReader(ctx *Ctx, f *File) (*Reader, error) {
+	buf, err := ctx.AllocElems(ctx.B())
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{ctx: ctx, f: f, buf: buf}, nil
+}
+
+// Next returns the next element. The second result is false when the stream
+// is exhausted, either by end of file or by an error; consult Err to tell
+// the two apart.
+func (r *Reader) Next() (Elem, bool) {
+	if r.off >= r.fill {
+		if !r.fetch() {
+			return Elem{}, false
+		}
+	}
+	e := r.buf[r.off]
+	r.off++
+	return e, true
+}
+
+func (r *Reader) fetch() bool {
+	if r.err != nil || r.buf == nil {
+		return false
+	}
+	if r.blk >= r.f.NumBlocks() {
+		return false
+	}
+	n, err := r.f.ReadBlock(r.blk, r.buf)
+	if err != nil {
+		r.err = err
+		return false
+	}
+	r.blk++
+	r.off = 0
+	r.fill = n
+	return n > 0
+}
+
+// Err returns the first I/O error encountered, or nil after a clean end of
+// stream.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns how many elements are still unread (metadata only, no
+// I/O).
+func (r *Reader) Remaining() int64 {
+	consumed := int64(0)
+	for i := 0; i < r.blk; i++ {
+		n, err := r.f.BlockLen(i)
+		if err != nil {
+			return 0
+		}
+		consumed += int64(n)
+	}
+	consumed -= int64(r.fill - r.off)
+	return r.f.Len() - consumed
+}
+
+// Close releases the Reader's block buffer. It is safe to call twice.
+func (r *Reader) Close() {
+	if r.buf != nil {
+		r.ctx.FreeElems(r.buf)
+		r.buf = nil
+	}
+}

@@ -1,0 +1,28 @@
+package emio
+
+import "fmt"
+
+// Stats is a snapshot of the I/O counters of a Disk.
+type Stats struct {
+	Reads  int64 // block reads performed
+	Writes int64 // block writes performed
+}
+
+// Total returns Reads + Writes, the cost measure of the EM model.
+func (s Stats) Total() int64 { return s.Reads + s.Writes }
+
+// Sub returns the counter deltas s - t. Taking a snapshot before and after an
+// algorithm and subtracting yields the algorithm's exact I/O cost.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Reads: s.Reads - t.Reads, Writes: s.Writes - t.Writes}
+}
+
+// Add returns the counter sums s + t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{Reads: s.Reads + t.Reads, Writes: s.Writes + t.Writes}
+}
+
+// String renders the counters for logs and reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d total=%d", s.Reads, s.Writes, s.Total())
+}

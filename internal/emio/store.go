@@ -1,0 +1,105 @@
+package emio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// blockStore is the storage backend of a Disk. The default store keeps
+// blocks in host memory; the file-backed store keeps them in a real file via
+// block-aligned positioned reads and writes, so the simulated machine's
+// transfers correspond to actual disk traffic. The store works in raw block
+// payloads; all model bookkeeping (I/O counting, fault injection, sealing)
+// stays in Disk/File.
+type blockStore interface {
+	// read copies block i of f into buf, returning the element count.
+	read(f *File, i int, buf []Elem) (int, error)
+	// append stores a new block holding payload at index f.numBlocks.
+	append(f *File, payload []Elem) error
+	// release drops f's storage.
+	release(f *File)
+	// close releases backend resources (no-op for memory).
+	close() error
+}
+
+// memStore keeps blocks as slices hanging off the File.
+type memStore struct{}
+
+func (memStore) read(f *File, i int, buf []Elem) (int, error) {
+	blk := f.mem[i]
+	if cap(buf) < len(blk) {
+		return 0, fmt.Errorf("%w: buffer cap %d < block len %d", ErrBlockSize, cap(buf), len(blk))
+	}
+	return copy(buf[:len(blk)], blk), nil
+}
+
+func (memStore) append(f *File, payload []Elem) error {
+	blk := make([]Elem, len(payload))
+	copy(blk, payload)
+	f.mem = append(f.mem, blk)
+	return nil
+}
+
+func (memStore) release(f *File) { f.mem = nil }
+
+func (memStore) close() error { return nil }
+
+// elemBytes is the on-disk size of one element: two little-endian int64s.
+const elemBytes = 16
+
+// fileStore appends blocks to one backing OS file and reads them back with
+// positioned I/O. Each stored block records its element count implicitly
+// through the File's length bookkeeping (every block is full except the
+// last), so the layout is a dense log of 16-byte records. Released extents
+// are not reclaimed — scratch-heavy algorithms grow the backing file by a
+// constant factor of their I/O volume, which is the honest disk footprint of
+// the EM model's unbounded disk.
+type fileStore struct {
+	fd   *os.File
+	end  int64  // append cursor
+	buf  []byte // encode/decode scratch, one block
+	size int    // block size in elements
+}
+
+func newFileStore(path string, blockSize int) (*fileStore, error) {
+	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("emio: open backing file: %w", err)
+	}
+	return &fileStore{fd: fd, buf: make([]byte, blockSize*elemBytes), size: blockSize}, nil
+}
+
+func (s *fileStore) read(f *File, i int, buf []Elem) (int, error) {
+	n := f.blockLen(i)
+	if cap(buf) < n {
+		return 0, fmt.Errorf("%w: buffer cap %d < block len %d", ErrBlockSize, cap(buf), n)
+	}
+	raw := s.buf[:n*elemBytes]
+	if _, err := s.fd.ReadAt(raw, f.extents[i]); err != nil {
+		return 0, fmt.Errorf("emio: backing read: %w", err)
+	}
+	for j := 0; j < n; j++ {
+		buf[j].Key = int64(binary.LittleEndian.Uint64(raw[j*elemBytes:]))
+		buf[j].Aux = int64(binary.LittleEndian.Uint64(raw[j*elemBytes+8:]))
+	}
+	return n, nil
+}
+
+func (s *fileStore) append(f *File, payload []Elem) error {
+	raw := s.buf[:len(payload)*elemBytes]
+	for j, e := range payload {
+		binary.LittleEndian.PutUint64(raw[j*elemBytes:], uint64(e.Key))
+		binary.LittleEndian.PutUint64(raw[j*elemBytes+8:], uint64(e.Aux))
+	}
+	if _, err := s.fd.WriteAt(raw, s.end); err != nil {
+		return fmt.Errorf("emio: backing write: %w", err)
+	}
+	f.extents = append(f.extents, s.end)
+	s.end += int64(len(raw))
+	return nil
+}
+
+func (s *fileStore) release(f *File) { f.extents = nil }
+
+func (s *fileStore) close() error { return s.fd.Close() }

@@ -1,0 +1,183 @@
+package emio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fileBackedCtx(t *testing.T, m, b int) *Ctx {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "backing.dat")
+	d, err := NewFileBackedDisk(path, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	ctx, err := NewCtxWithDisk(Config{M: m, B: b}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestFileBackedRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 100, 1000} {
+		ctx := fileBackedCtx(t, 64, 8)
+		in := seqElems(n)
+		f, err := StoreAll(ctx, "rt", in)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := f.Snapshot()
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d", n, len(got))
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				t.Fatalf("n=%d: differs at %d: %v vs %v", n, i, got[i], in[i])
+			}
+		}
+	}
+}
+
+func TestFileBackedNegativeKeys(t *testing.T) {
+	ctx := fileBackedCtx(t, 64, 8)
+	in := []Elem{{Key: -1, Aux: -9}, {Key: -(1 << 60), Aux: 1 << 60}, {Key: 0, Aux: -1}}
+	f, err := StoreAll(ctx, "neg", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Snapshot()
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("negative encoding broken at %d: %v vs %v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestFileBackedIOCountsMatchMemory(t *testing.T) {
+	// The same operation sequence must cost identical I/Os on both backends.
+	run := func(ctx *Ctx) Stats {
+		in := seqElems(500)
+		f := BuildFile(ctx.Disk(), "x", in)
+		ctx.Disk().ResetStats()
+		dup, err := Copy(ctx, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := LoadAll(ctx, dup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.FreeElems(buf)
+		dup.Release()
+		return ctx.Disk().Stats()
+	}
+	memCtx := mustCtx(t, 1024, 8)
+	fbCtx := fileBackedCtx(t, 1024, 8)
+	if a, b := run(memCtx), run(fbCtx); a != b {
+		t.Errorf("memory backend %v != file backend %v", a, b)
+	}
+}
+
+func TestFileBackedBuildFileAndReaders(t *testing.T) {
+	ctx := fileBackedCtx(t, 64, 8)
+	in := seqElems(100)
+	f := BuildFile(ctx.Disk(), "bf", in)
+	if ctx.Disk().Stats().Total() != 0 {
+		t.Fatal("BuildFile charged I/Os")
+	}
+	r, err := NewReader(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; ; i++ {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		if e != in[i] {
+			t.Fatalf("reader differs at %d", i)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestFileBackedReleaseAndInterleavedFiles(t *testing.T) {
+	// Blocks of different files interleave in the log; releasing one must
+	// not disturb another.
+	ctx := fileBackedCtx(t, 64, 8)
+	wa, _ := NewWriter(ctx, ctx.Scratch("a"))
+	fb := ctx.Scratch("b")
+	wb, _ := NewWriter(ctx, fb)
+	var fa *File
+	{
+		faf := ctx.Scratch("a2")
+		wa2, _ := NewWriter(ctx, faf)
+		for i := 0; i < 50; i++ {
+			wa2.Append(Elem{Key: int64(i), Aux: 1})
+			wb.Append(Elem{Key: int64(100 + i), Aux: 2})
+		}
+		if err := wa2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fa = faf
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wa.Close()
+	fa.Release()
+	got := fb.Snapshot()
+	for i, e := range got {
+		if e.Key != int64(100+i) || e.Aux != 2 {
+			t.Fatalf("file b corrupted at %d: %v", i, e)
+		}
+	}
+}
+
+func TestFileBackedDiskGrowsOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "grow.dat")
+	d, err := NewFileBackedDisk(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, err := NewCtxWithDisk(Config{M: 64, B: 8}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StoreAll(ctx, "g", seqElems(1000)); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1000 * elemBytes); fi.Size() != want {
+		t.Errorf("backing file is %d bytes, want %d", fi.Size(), want)
+	}
+}
+
+func TestNewCtxWithDiskValidates(t *testing.T) {
+	d := NewDisk(8)
+	if _, err := NewCtxWithDisk(Config{M: 64, B: 16}, d); err == nil {
+		t.Error("block size mismatch accepted")
+	}
+	if _, err := NewCtxWithDisk(Config{M: 4, B: 8}, d); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFileBackedDiskRejectsBadPath(t *testing.T) {
+	if _, err := NewFileBackedDisk("/nonexistent-dir-xyz/f.dat", 8); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, err := NewFileBackedDisk("x.dat", 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}

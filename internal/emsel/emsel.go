@@ -1,0 +1,309 @@
+// Package emsel implements exact single-rank selection on a file in O(n/B)
+// I/Os: the external-memory form of the BFPRT median-of-medians algorithm
+// (reference [3] of the paper). It is the L=1 special case of the
+// L-intermixed selection primitive of paper §4.1, kept separate because the
+// higher-level algorithms (two-sided splitters and partitioning, the
+// multi-partition boundary case) need plain single selections on raw element
+// files without the group-packing transform.
+package emsel
+
+import (
+	"fmt"
+
+	"repro/internal/emio"
+	"repro/internal/inmem"
+)
+
+// Select returns the element of rank k (1-based) in f under the (Key, Aux)
+// total order, in O(n/B) expected I/Os using randomized pivots (a median of
+// random probes; about two scan-equivalents per halving, geometric total).
+// The input file is not modified. SelectDeterministic gives the same answer
+// with a worst-case guarantee at a higher constant.
+func Select(ctx *emio.Ctx, f *emio.File, k int64) (emio.Elem, error) {
+	return selectBy(ctx, f, k, randomPivot)
+}
+
+// SelectDeterministic is Select with the BFPRT median-of-medians pivot:
+// worst-case O(n/B) I/Os, at roughly three times the constant of the
+// randomized default.
+func SelectDeterministic(ctx *emio.Ctx, f *emio.File, k int64) (emio.Elem, error) {
+	return selectBy(ctx, f, k, medianOfMedians)
+}
+
+func selectBy(ctx *emio.Ctx, f *emio.File, k int64, pivoter func(*emio.Ctx, *emio.File) (emio.Elem, error)) (emio.Elem, error) {
+	if k < 1 || k > f.Len() {
+		return emio.Elem{}, fmt.Errorf("emsel: rank %d out of [1,%d]", k, f.Len())
+	}
+	cur, owned := f, false
+	for {
+		n := cur.Len()
+		if n <= int64(ctx.M()/3) {
+			buf, err := emio.LoadAll(ctx, cur)
+			if err != nil {
+				return emio.Elem{}, err
+			}
+			e := inmem.Select(buf, int(k))
+			ctx.FreeElems(buf)
+			if owned {
+				cur.Release()
+			}
+			return e, nil
+		}
+
+		pivot, err := pivoter(ctx, cur)
+		if err != nil {
+			if owned {
+				cur.Release()
+			}
+			return emio.Elem{}, err
+		}
+
+		less, greater, lt, eq, err := partitionAround(ctx, cur, pivot)
+		if owned {
+			cur.Release()
+		}
+		if err != nil {
+			return emio.Elem{}, err
+		}
+		switch {
+		case k <= lt:
+			greater.Release()
+			cur, owned = less, true
+		case k <= lt+eq:
+			less.Release()
+			greater.Release()
+			return pivot, nil
+		default:
+			less.Release()
+			cur, owned = greater, true
+			k -= lt + eq
+		}
+	}
+}
+
+// medianOfMedians streams f in groups of five, writes the group medians to a
+// scratch file, and recursively selects that file's median: the standard
+// BFPRT pivot, guaranteeing at least (3/10)n - O(1) elements on each side.
+func medianOfMedians(ctx *emio.Ctx, f *emio.File) (emio.Elem, error) {
+	sigma := ctx.Scratch("mom")
+	w, err := emio.NewWriter(ctx, sigma)
+	if err != nil {
+		return emio.Elem{}, err
+	}
+	r, err := emio.NewReader(ctx, f)
+	if err != nil {
+		w.Close()
+		return emio.Elem{}, err
+	}
+	var grp [5]emio.Elem
+	g := 0
+	for {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		grp[g] = e
+		g++
+		if g == 5 {
+			w.Append(inmem.MedianOfFive(grp[:]))
+			g = 0
+		}
+	}
+	if err := r.Err(); err != nil {
+		r.Close()
+		w.Close()
+		return emio.Elem{}, err
+	}
+	r.Close()
+	if g > 0 {
+		w.Append(inmem.MedianOfFive(grp[:g]))
+	}
+	if err := w.Close(); err != nil {
+		return emio.Elem{}, err
+	}
+	pivot, err := SelectDeterministic(ctx, sigma, (sigma.Len()+1)/2)
+	sigma.Release()
+	return pivot, err
+}
+
+// randomPivot samples a few dozen elements by random block probes and returns
+// their median: within a constant rank-distance of the true median with high
+// probability, at O(lg n) I/Os — negligible against the partition scan.
+// Partial last blocks bias the per-element weights slightly, which affects
+// only the constant, never correctness (any returned element is a valid
+// pivot).
+func randomPivot(ctx *emio.Ctx, f *emio.File) (emio.Elem, error) {
+	const probes = 33
+	buf, err := ctx.AllocElems(ctx.B())
+	if err != nil {
+		return emio.Elem{}, err
+	}
+	defer ctx.FreeElems(buf)
+	var sample [probes]emio.Elem
+	rng := ctx.Rng()
+	nb := f.NumBlocks()
+	for i := 0; i < probes; i++ {
+		n, err := f.ReadBlock(rng.IntN(nb), buf)
+		if err != nil {
+			return emio.Elem{}, err
+		}
+		sample[i] = buf[rng.IntN(n)]
+	}
+	s := sample[:]
+	inmem.Sort(s)
+	return s[probes/2], nil
+}
+
+// partitionAround splits f into the elements strictly less than and strictly
+// greater than pivot, counting the ones equal to it, in one scan.
+func partitionAround(ctx *emio.Ctx, f *emio.File, pivot emio.Elem) (less, greater *emio.File, lt, eq int64, err error) {
+	less = ctx.Scratch("lt")
+	greater = ctx.Scratch("gt")
+	wl, err := emio.NewWriter(ctx, less)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	wg, err := emio.NewWriter(ctx, greater)
+	if err != nil {
+		wl.Close()
+		return nil, nil, 0, 0, err
+	}
+	r, err := emio.NewReader(ctx, f)
+	if err != nil {
+		wl.Close()
+		wg.Close()
+		return nil, nil, 0, 0, err
+	}
+	for {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch emio.Compare(e, pivot) {
+		case -1:
+			wl.Append(e)
+			lt++
+		case 0:
+			eq++
+		default:
+			wg.Append(e)
+		}
+	}
+	rerr := r.Err()
+	r.Close()
+	if err := wl.Close(); err != nil && rerr == nil {
+		rerr = err
+	}
+	if err := wg.Close(); err != nil && rerr == nil {
+		rerr = err
+	}
+	if rerr != nil {
+		less.Release()
+		greater.Release()
+		return nil, nil, 0, 0, rerr
+	}
+	return less, greater, lt, eq, nil
+}
+
+// SplitAtRank divides f into the k smallest elements and the n-k remaining
+// ones, as two new files, in O(n/B) I/Os (one selection plus one distribution
+// scan). It also returns the boundary element, the one of rank k (zero Elem
+// when k is 0). Boundary ties are routed by count, so the split is exact even
+// under fully duplicate records.
+func SplitAtRank(ctx *emio.Ctx, f *emio.File, k int64) (low, high *emio.File, boundary emio.Elem, err error) {
+	if k < 0 || k > f.Len() {
+		return nil, nil, emio.Elem{}, fmt.Errorf("emsel: split rank %d out of [0,%d]", k, f.Len())
+	}
+	low = ctx.Scratch("low")
+	high = ctx.Scratch("high")
+	if k == 0 || k == f.Len() {
+		// One side is everything; still perform the copy so the caller owns
+		// independent files.
+		dst, b := low, emio.Elem{}
+		if k == 0 {
+			dst = high
+		} else if b, err = Select(ctx, f, k); err != nil {
+			low.Release()
+			high.Release()
+			return nil, nil, emio.Elem{}, err
+		}
+		if err := emio.AppendAll(ctx, dst, f); err != nil {
+			low.Release()
+			high.Release()
+			return nil, nil, emio.Elem{}, err
+		}
+		return low, high, b, nil
+	}
+	pivot, err := Select(ctx, f, k)
+	if err != nil {
+		low.Release()
+		high.Release()
+		return nil, nil, emio.Elem{}, err
+	}
+	wl, err := emio.NewWriter(ctx, low)
+	if err != nil {
+		low.Release()
+		high.Release()
+		return nil, nil, emio.Elem{}, err
+	}
+	wh, err := emio.NewWriter(ctx, high)
+	if err != nil {
+		wl.Close()
+		low.Release()
+		high.Release()
+		return nil, nil, emio.Elem{}, err
+	}
+	r, err := emio.NewReader(ctx, f)
+	if err != nil {
+		wl.Close()
+		wh.Close()
+		low.Release()
+		high.Release()
+		return nil, nil, emio.Elem{}, err
+	}
+	// Records equal to the pivot are bit-identical to it, so they can be
+	// counted during the scan and materialised afterwards: low needs exactly
+	// k - #(<pivot) of them, which is unknown until the scan ends.
+	var lt, eq int64
+	for {
+		e, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch emio.Compare(e, pivot) {
+		case -1:
+			wl.Append(e)
+			lt++
+		case 0:
+			eq++
+		default:
+			wh.Append(e)
+		}
+	}
+	rerr := r.Err()
+	if rerr == nil && (lt >= k || lt+eq < k) {
+		rerr = fmt.Errorf("emsel: SplitAtRank inconsistent pivot (lt=%d eq=%d k=%d)", lt, eq, k)
+	}
+	if rerr == nil {
+		for i := lt; i < lt+eq; i++ {
+			if i < k {
+				wl.Append(pivot)
+			} else {
+				wh.Append(pivot)
+			}
+		}
+	}
+	r.Close()
+	if err := wl.Close(); err != nil && rerr == nil {
+		rerr = err
+	}
+	if err := wh.Close(); err != nil && rerr == nil {
+		rerr = err
+	}
+	if rerr != nil {
+		low.Release()
+		high.Release()
+		return nil, nil, emio.Elem{}, rerr
+	}
+	return low, high, pivot, nil
+}

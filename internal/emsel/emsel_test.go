@@ -1,0 +1,304 @@
+package emsel
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+)
+
+func mustCtx(t *testing.T, m, b int) *emio.Ctx {
+	t.Helper()
+	ctx, err := emio.NewCtx(emio.Config{M: m, B: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func randElems(n int, keyRange int64, rng *rand.Rand) []emio.Elem {
+	s := make([]emio.Elem, n)
+	for i := range s {
+		s[i] = emio.Elem{Key: rng.Int64N(keyRange), Aux: int64(i)}
+	}
+	return s
+}
+
+func sortedCopy(s []emio.Elem) []emio.Elem {
+	c := append([]emio.Elem(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return emio.Less(c[i], c[j]) })
+	return c
+}
+
+func TestSelectExactRanks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	ctx := mustCtx(t, 64, 8)
+	in := randElems(2000, 5000, rng)
+	f := emio.BuildFile(ctx.Disk(), "sel", in)
+	want := sortedCopy(in)
+	for _, k := range []int64{1, 2, 500, 1000, 1500, 1999, 2000} {
+		got, err := Select(ctx, f, k)
+		if err != nil {
+			t.Fatalf("rank %d: %v", k, err)
+		}
+		if got != want[k-1] {
+			t.Fatalf("rank %d = %v, want %v", k, got, want[k-1])
+		}
+	}
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("leaked %d memory", ctx.Mem().Used())
+	}
+}
+
+func TestSelectSmallFilesAllRanks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, n := range []int{1, 2, 7, 40, 100} {
+		ctx := mustCtx(t, 32, 4)
+		in := randElems(n, 50, rng)
+		f := emio.BuildFile(ctx.Disk(), "s", in)
+		want := sortedCopy(in)
+		for k := 1; k <= n; k++ {
+			got, err := Select(ctx, f, int64(k))
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if got != want[k-1] {
+				t.Fatalf("n=%d rank %d = %v, want %v", n, k, got, want[k-1])
+			}
+		}
+	}
+}
+
+func TestSelectDuplicateKeys(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	in := make([]emio.Elem, 1000)
+	for i := range in {
+		in[i] = emio.Elem{Key: int64(i % 5), Aux: int64(i)}
+	}
+	f := emio.BuildFile(ctx.Disk(), "dup", in)
+	want := sortedCopy(in)
+	for _, k := range []int64{1, 200, 201, 999} {
+		got, err := Select(ctx, f, k)
+		if err != nil || got != want[k-1] {
+			t.Fatalf("rank %d = %v (err %v), want %v", k, got, err, want[k-1])
+		}
+	}
+}
+
+func TestSelectFullyDuplicateRecords(t *testing.T) {
+	ctx := mustCtx(t, 32, 4)
+	in := make([]emio.Elem, 500)
+	for i := range in {
+		in[i] = emio.Elem{Key: 9, Aux: 9}
+	}
+	f := emio.BuildFile(ctx.Disk(), "same", in)
+	got, err := Select(ctx, f, 250)
+	if err != nil || got != (emio.Elem{Key: 9, Aux: 9}) {
+		t.Fatalf("Select on identical records = %v, %v", got, err)
+	}
+}
+
+func TestSelectRankOutOfRange(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	f := emio.BuildFile(ctx.Disk(), "r", randElems(10, 10, rand.New(rand.NewPCG(3, 3))))
+	for _, k := range []int64{0, -1, 11} {
+		if _, err := Select(ctx, f, k); err == nil {
+			t.Errorf("rank %d accepted", k)
+		}
+	}
+}
+
+func TestSelectLinearIO(t *testing.T) {
+	// Selection must cost O(n/B): assert measured I/O <= c * n/B with a
+	// generous constant, and confirm the constant does not grow with n
+	// (which would indicate an extra log factor).
+	type point struct{ n, io int64 }
+	var pts []point
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		ctx := mustCtx(t, 1<<10, 32)
+		in := randElems(n, int64(n), rand.New(rand.NewPCG(4, 4)))
+		f := emio.BuildFile(ctx.Disk(), "lin", in)
+		ctx.Disk().ResetStats()
+		if _, err := Select(ctx, f, int64(n/2)); err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{int64(n), ctx.Disk().Stats().Total()})
+	}
+	for _, p := range pts {
+		scans := float64(p.io) / (float64(p.n) / 32)
+		if scans > 12 {
+			t.Errorf("n=%d: %.1f scan-equivalents, want O(1) (<=12)", p.n, scans)
+		}
+	}
+	// Growth between quadrupling n should be about 4x, not 4x*log-factor.
+	r1 := float64(pts[1].io) / float64(pts[0].io)
+	r2 := float64(pts[2].io) / float64(pts[1].io)
+	if r2 > r1*1.5 {
+		t.Errorf("I/O growth accelerating: %0.2f then %0.2f per 4x n", r1, r2)
+	}
+}
+
+func TestSelectInputUntouched(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	in := randElems(300, 300, rand.New(rand.NewPCG(5, 5)))
+	f := emio.BuildFile(ctx.Disk(), "ro", in)
+	if _, err := Select(ctx, f, 150); err != nil {
+		t.Fatal(err)
+	}
+	got := f.Snapshot()
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("input mutated at %d", i)
+		}
+	}
+}
+
+func TestSplitAtRank(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for _, k := range []int64{0, 1, 250, 499, 500} {
+		ctx := mustCtx(t, 64, 8)
+		in := randElems(500, 100, rng) // duplicate-heavy keys
+		f := emio.BuildFile(ctx.Disk(), "split", in)
+		low, high, bnd, err := SplitAtRank(ctx, f, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if low.Len() != k || high.Len() != 500-k {
+			t.Fatalf("k=%d: |low|=%d |high|=%d", k, low.Len(), high.Len())
+		}
+		if k > 0 {
+			if want := sortedCopy(in)[k-1]; bnd != want {
+				t.Fatalf("k=%d: boundary %v, want %v", k, bnd, want)
+			}
+		}
+		ls, hs := low.Snapshot(), high.Snapshot()
+		// Every low element must be <= every high element; with the total
+		// order, max(low) <= min(high).
+		var lmax, hmin emio.Elem
+		for i, e := range ls {
+			if i == 0 || emio.Less(lmax, e) {
+				lmax = e
+			}
+		}
+		for i, e := range hs {
+			if i == 0 || emio.Less(e, hmin) {
+				hmin = e
+			}
+		}
+		if len(ls) > 0 && len(hs) > 0 && emio.Less(hmin, lmax) {
+			t.Fatalf("k=%d: max(low)=%v > min(high)=%v", k, lmax, hmin)
+		}
+		// Multiset preservation.
+		all := sortedCopy(append(ls, hs...))
+		want := sortedCopy(in)
+		for i := range want {
+			if all[i] != want[i] {
+				t.Fatalf("k=%d: multiset broken at %d", k, i)
+			}
+		}
+		if ctx.Mem().Used() != 0 {
+			t.Fatalf("k=%d: leaked %d", k, ctx.Mem().Used())
+		}
+	}
+}
+
+func TestSplitAtRankIdenticalRecords(t *testing.T) {
+	ctx := mustCtx(t, 32, 4)
+	in := make([]emio.Elem, 100)
+	for i := range in {
+		in[i] = emio.Elem{Key: 3, Aux: 3}
+	}
+	f := emio.BuildFile(ctx.Disk(), "same", in)
+	low, high, bnd, err := SplitAtRank(ctx, f, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Len() != 37 || high.Len() != 63 {
+		t.Fatalf("|low|=%d |high|=%d", low.Len(), high.Len())
+	}
+	if bnd != (emio.Elem{Key: 3, Aux: 3}) {
+		t.Fatalf("boundary %v", bnd)
+	}
+}
+
+func TestSplitAtRankBadRank(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	f := emio.BuildFile(ctx.Disk(), "b", randElems(10, 10, rand.New(rand.NewPCG(7, 7))))
+	for _, k := range []int64{-1, 11} {
+		if _, _, _, err := SplitAtRank(ctx, f, k); err == nil {
+			t.Errorf("rank %d accepted", k)
+		}
+	}
+}
+
+func TestSelectProperty(t *testing.T) {
+	prop := func(keys []int64, kraw uint) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		ctx, err := emio.NewCtx(emio.Config{M: 32, B: 4})
+		if err != nil {
+			return false
+		}
+		in := make([]emio.Elem, len(keys))
+		for i, key := range keys {
+			in[i] = emio.Elem{Key: key % 16, Aux: int64(i)} // force duplicates
+		}
+		k := int64(kraw%uint(len(in))) + 1
+		f := emio.BuildFile(ctx.Disk(), "p", in)
+		got, err := Select(ctx, f, k)
+		if err != nil {
+			return false
+		}
+		return got == sortedCopy(in)[k-1] && ctx.Mem().Used() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectDeterministicMatchesRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	ctx := mustCtx(t, 256, 16)
+	in := randElems(5000, 500, rng)
+	f := emio.BuildFile(ctx.Disk(), "both", in)
+	want := sortedCopy(in)
+	for _, k := range []int64{1, 1234, 2500, 5000} {
+		a, err := Select(ctx, f, k)
+		if err != nil {
+			t.Fatalf("rank %d randomized: %v", k, err)
+		}
+		b, err := SelectDeterministic(ctx, f, k)
+		if err != nil {
+			t.Fatalf("rank %d deterministic: %v", k, err)
+		}
+		if a != want[k-1] || b != want[k-1] {
+			t.Fatalf("rank %d: randomized %v, deterministic %v, want %v", k, a, b, want[k-1])
+		}
+	}
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("leaked %d", ctx.Mem().Used())
+	}
+}
+
+func TestRandomizedSelectCheaperThanDeterministic(t *testing.T) {
+	n := 1 << 16
+	ctx := mustCtx(t, 1<<10, 32)
+	in := randElems(n, int64(n), rand.New(rand.NewPCG(12, 12)))
+	f := emio.BuildFile(ctx.Disk(), "cost", in)
+	ctx.Disk().ResetStats()
+	if _, err := Select(ctx, f, int64(n/2)); err != nil {
+		t.Fatal(err)
+	}
+	randIO := ctx.Disk().Stats().Total()
+	ctx.Disk().ResetStats()
+	if _, err := SelectDeterministic(ctx, f, int64(n/2)); err != nil {
+		t.Fatal(err)
+	}
+	detIO := ctx.Disk().Stats().Total()
+	if randIO >= detIO {
+		t.Errorf("randomized %d I/Os >= deterministic %d", randIO, detIO)
+	}
+}

@@ -1,0 +1,197 @@
+// Package extsort implements external merge sort, the
+// O((N/B) lg_{M/B}(N/B))-I/O sorting algorithm of Aggarwal and Vitter that
+// serves as the baseline against which every specialised algorithm in the
+// paper is compared (sorting trivially solves all six Table-1 problems), and
+// as the oracle inside verifiers.
+//
+// Phase one forms sorted runs of about M elements by repeated in-memory
+// sorting; phase two merges runs with the largest fan-in that leaves room for
+// one input buffer per run, one output buffer, and the tournament tree.
+package extsort
+
+import (
+	"fmt"
+
+	"repro/internal/emio"
+	"repro/internal/inmem"
+	"repro/internal/mmheap"
+)
+
+// Sort returns a new file holding the elements of in sorted by (Key, Aux).
+// The input file is left untouched. The cost is (2N/B)(1 + ceil(lg_f(N/M)))
+// I/Os where f is the merge fan-in, i.e. Theta((N/B) lg_{M/B}(N/B)).
+//
+// Sorting needs room to merge: M must accommodate at least two input buffers
+// plus an output buffer and the tournament state, so configurations tighter
+// than roughly M >= 3B fail with emio.ErrMemoryBudget.
+func Sort(ctx *emio.Ctx, in *emio.File) (*emio.File, error) {
+	runs, err := FormRuns(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return MergeAll(ctx, runs)
+}
+
+// FormRuns splits in into sorted runs of up to (M/B - 1)*B elements each,
+// costing one full read scan plus one full write scan. The returned files are
+// owned by the caller (MergeAll consumes and releases them).
+func FormRuns(ctx *emio.Ctx, in *emio.File) ([]*emio.File, error) {
+	b := ctx.B()
+	// Leave one block for the run writer and one block of slack for a
+	// caller-held stream buffer (composite algorithms keep an output writer
+	// open across a sort).
+	runBlocks := ctx.M()/b - 2
+	if runBlocks < 1 {
+		runBlocks = 1
+	}
+	runCap := runBlocks * b
+	buf, err := ctx.AllocElems(runCap)
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.FreeElems(buf)
+
+	var runs []*emio.File
+	nb := in.NumBlocks()
+	for blk := 0; blk < nb; {
+		fill := 0
+		for blk < nb && fill+b <= runCap {
+			n, err := in.ReadBlock(blk, buf[fill:fill+b])
+			if err != nil {
+				return nil, err
+			}
+			fill += n
+			blk++
+		}
+		if fill == 0 {
+			break
+		}
+		chunk := buf[:fill]
+		inmem.Sort(chunk)
+		run := ctx.Scratch("run")
+		w, err := emio.NewWriter(ctx, run)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range chunk {
+			w.Append(e)
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// MergeAll repeatedly merges the given sorted runs with maximal fan-in until
+// a single sorted file remains, releasing consumed runs as it goes. An empty
+// run list yields an empty file.
+func MergeAll(ctx *emio.Ctx, runs []*emio.File) (*emio.File, error) {
+	return MergeAllWithFanIn(ctx, runs, 0)
+}
+
+// MergeAllWithFanIn is MergeAll with the fan-in capped at maxFan (0 or
+// negative means the natural memory-derived fan-in). Capping below the
+// natural value adds merge passes; it exists for the lg_{M/B}-factor ablation
+// study, not for production use.
+func MergeAllWithFanIn(ctx *emio.Ctx, runs []*emio.File, maxFan int) (*emio.File, error) {
+	if len(runs) == 0 {
+		return ctx.Scratch("sorted"), nil
+	}
+	fan := mergeFanIn(ctx)
+	if maxFan > 1 && maxFan < fan {
+		fan = maxFan
+	}
+	for len(runs) > 1 {
+		var next []*emio.File
+		for lo := 0; lo < len(runs); lo += fan {
+			group := runs[lo:min(lo+fan, len(runs))]
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			merged, err := mergeGroup(ctx, group)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return runs[0], nil
+}
+
+// mergeFanIn picks the merge width: each input run needs a B-element reader
+// buffer, the merger needs about two words per (power-of-two padded) source,
+// one output buffer must remain, and one further block is left as slack for a
+// caller-held stream buffer. f = (M - 2B) / (B + 4), at least 2.
+func mergeFanIn(ctx *emio.Ctx) int {
+	f := (ctx.M() - 2*ctx.B()) / (ctx.B() + 4)
+	if f < 2 {
+		f = 2
+	}
+	return f
+}
+
+// mergeGroup merges the given sorted runs into one new file and releases
+// them.
+func mergeGroup(ctx *emio.Ctx, group []*emio.File) (*emio.File, error) {
+	readers := make([]*emio.Reader, 0, len(group))
+	closeAll := func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}
+	srcs := make([]mmheap.Source, 0, len(group))
+	var total int64
+	for _, f := range group {
+		r, err := emio.NewReader(ctx, f)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		readers = append(readers, r)
+		srcs = append(srcs, r.Next)
+		total += f.Len()
+	}
+	m, err := mmheap.New(ctx, srcs)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	defer m.Close()
+	out := ctx.Scratch("merge")
+	w, err := emio.NewWriter(ctx, out)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	var n int64
+	for {
+		e, ok := m.Next()
+		if !ok {
+			break
+		}
+		w.Append(e)
+		n++
+	}
+	for _, r := range readers {
+		if err := r.Err(); err != nil {
+			closeAll()
+			w.Close()
+			return nil, err
+		}
+	}
+	closeAll()
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	if n != total {
+		return nil, fmt.Errorf("extsort: merged %d of %d elements", n, total)
+	}
+	for _, f := range group {
+		f.Release()
+	}
+	return out, nil
+}

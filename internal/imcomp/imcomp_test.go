@@ -1,0 +1,168 @@
+package imcomp
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/emio"
+	"repro/internal/verify"
+)
+
+func randElems(n int, rng *rand.Rand) []emio.Elem {
+	s := make([]emio.Elem, n)
+	for i := range s {
+		s[i] = emio.Elem{Key: rng.Int64N(int64(n) * 4), Aux: int64(i)}
+	}
+	return s
+}
+
+func sortedCopy(s []emio.Elem) []emio.Elem {
+	c := append([]emio.Elem(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return emio.Less(c[i], c[j]) })
+	return c
+}
+
+func equiRanks(n, k int64) []int64 {
+	ranks := make([]int64, 0, k-1)
+	for i := int64(1); i < k; i++ {
+		r := i * n / k
+		if len(ranks) == 0 || r > ranks[len(ranks)-1] {
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
+}
+
+func equiSizes(n, k int64) []int64 {
+	sizes := make([]int64, k)
+	prev := int64(0)
+	for i := int64(0); i < k; i++ {
+		cum := (i + 1) * n / k
+		sizes[i] = cum - prev
+		prev = cum
+	}
+	return sizes
+}
+
+func TestMultiSelectCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	in := randElems(5000, rng)
+	ranks := equiRanks(5000, 16)
+	got, comps, err := MultiSelect(append([]emio.Elem(nil), in...), ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps <= 0 {
+		t.Fatal("no comparisons counted")
+	}
+	want := sortedCopy(in)
+	for i, r := range ranks {
+		if got[i] != want[r-1] {
+			t.Fatalf("rank %d = %v, want %v", r, got[i], want[r-1])
+		}
+	}
+}
+
+func TestMultiPartitionCorrect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	in := randElems(5000, rng)
+	work := append([]emio.Elem(nil), in...)
+	sizes := equiSizes(5000, 16)
+	comps, err := MultiPartition(work, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps <= 0 {
+		t.Fatal("no comparisons counted")
+	}
+	if err := verify.SameMultiset(work, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.OrderedSegments(work, sizes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	in := randElems(10, rand.New(rand.NewPCG(3, 3)))
+	if _, _, err := MultiSelect(in, []int64{0}); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, _, err := MultiSelect(in, []int64{3, 3}); err == nil {
+		t.Error("non-increasing ranks accepted")
+	}
+	if _, err := MultiPartition(in, []int64{5, 6}); err == nil {
+		t.Error("bad sum accepted")
+	}
+	if _, err := MultiPartition(in, []int64{-1, 11}); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+// TestComparisonsScaleAsNLgK verifies the Θ(N lg K) shape for both problems:
+// the normalised count comps/(N lg K) stays within a bounded band across a
+// wide K sweep.
+func TestComparisonsScaleAsNLgK(t *testing.T) {
+	n := int64(1 << 15)
+	rng := rand.New(rand.NewPCG(4, 4))
+	in := randElems(int(n), rng)
+	for _, k := range []int64{2, 8, 64, 512, 4096} {
+		lgK := math.Log2(float64(k))
+		sel := append([]emio.Elem(nil), in...)
+		_, cSel, err := MultiSelect(sel, equiRanks(n, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := append([]emio.Elem(nil), in...)
+		cPar, err := MultiPartition(par, equiSizes(n, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		normSel := float64(cSel) / (float64(n) * lgK)
+		normPar := float64(cPar) / (float64(n) * lgK)
+		if normSel < 0.5 || normSel > 6 {
+			t.Errorf("K=%d: multiselect %.2f N lg K comparisons, want O(1) band", k, normSel)
+		}
+		if normPar < 0.5 || normPar > 6 {
+			t.Errorf("K=%d: multipartition %.2f N lg K comparisons, want O(1) band", k, normPar)
+		}
+	}
+}
+
+// TestInternalMemoryParity is the paper's §1.3 remark made executable: in
+// internal memory, multi-selection and multi-partition cost the same number
+// of comparisons up to a small constant — the separation exists only in the
+// EM model.
+func TestInternalMemoryParity(t *testing.T) {
+	n := int64(1 << 15)
+	rng := rand.New(rand.NewPCG(5, 5))
+	in := randElems(int(n), rng)
+	for _, k := range []int64{4, 64, 1024} {
+		sel := append([]emio.Elem(nil), in...)
+		_, cSel, err := MultiSelect(sel, equiRanks(n, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := append([]emio.Elem(nil), in...)
+		cPar, err := MultiPartition(par, equiSizes(n, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(cSel) / float64(cPar)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("K=%d: msel/mpart comparison ratio %.2f, want near 1 (internal-memory parity)", k, ratio)
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	in := randElems(100, rand.New(rand.NewPCG(6, 6)))
+	if got, comps, err := MultiSelect(in, nil); err != nil || len(got) != 0 || comps != 0 {
+		t.Errorf("empty ranks: %v %d %v", got, comps, err)
+	}
+	if comps, err := MultiPartition(in, []int64{100}); err != nil || comps != 0 {
+		t.Errorf("single partition: %d %v", comps, err)
+	}
+}

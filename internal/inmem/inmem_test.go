@@ -1,0 +1,268 @@
+package inmem
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+)
+
+func randElems(n int, rng *rand.Rand) []emio.Elem {
+	s := make([]emio.Elem, n)
+	for i := range s {
+		s[i] = emio.Elem{Key: rng.Int64N(int64(n) + 1), Aux: int64(i)}
+	}
+	return s
+}
+
+func sortedCopy(s []emio.Elem) []emio.Elem {
+	c := append([]emio.Elem(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return emio.Less(c[i], c[j]) })
+	return c
+}
+
+func TestSortAndIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	s := randElems(500, rng)
+	if IsSorted(s) {
+		t.Skip("random input accidentally sorted") // practically impossible
+	}
+	Sort(s)
+	if !IsSorted(s) {
+		t.Fatal("Sort did not sort")
+	}
+}
+
+func TestSelectAllRanksSmall(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, n := range []int{1, 2, 3, 5, 6, 17, 100} {
+		orig := randElems(n, rng)
+		want := sortedCopy(orig)
+		for k := 1; k <= n; k++ {
+			s := append([]emio.Elem(nil), orig...)
+			got := Select(s, k)
+			if got != want[k-1] {
+				t.Fatalf("n=%d Select(%d) = %v, want %v", n, k, got, want[k-1])
+			}
+		}
+	}
+}
+
+func TestSelectDuplicateKeys(t *testing.T) {
+	s := make([]emio.Elem, 50)
+	for i := range s {
+		s[i] = emio.Elem{Key: int64(i % 3), Aux: int64(i)}
+	}
+	want := sortedCopy(s)
+	for k := 1; k <= len(s); k++ {
+		c := append([]emio.Elem(nil), s...)
+		if got := Select(c, k); got != want[k-1] {
+			t.Fatalf("Select(%d) = %v, want %v", k, got, want[k-1])
+		}
+	}
+}
+
+func TestSelectAllEqualFullTies(t *testing.T) {
+	// Fully identical records: any of them is a correct answer by value.
+	s := make([]emio.Elem, 20)
+	for i := range s {
+		s[i] = emio.Elem{Key: 7, Aux: 7}
+	}
+	if got := Select(s, 10); got != (emio.Elem{Key: 7, Aux: 7}) {
+		t.Fatalf("Select on ties = %v", got)
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, -1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Select(k=%d) did not panic", k)
+				}
+			}()
+			Select(make([]emio.Elem, 3), k)
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	s := []emio.Elem{{Key: 5}, {Key: 1}, {Key: 9}, {Key: 3}, {Key: 7}}
+	if got := Median(s); got.Key != 5 {
+		t.Errorf("Median = %v", got)
+	}
+	s4 := []emio.Elem{{Key: 4}, {Key: 2}, {Key: 8}, {Key: 6}}
+	if got := Median(s4); got.Key != 4 { // lower median of {2,4,6,8}
+		t.Errorf("lower median = %v", got)
+	}
+}
+
+func TestMedianOfFive(t *testing.T) {
+	cases := []struct {
+		keys []int64
+		want int64
+	}{
+		{[]int64{1}, 1},
+		{[]int64{2, 1}, 1},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{4, 1, 3, 2}, 2},
+		{[]int64{5, 4, 3, 2, 1}, 3},
+		{[]int64{1, 1, 1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		s := make([]emio.Elem, len(c.keys))
+		for i, k := range c.keys {
+			s[i] = emio.Elem{Key: k, Aux: k}
+		}
+		if got := MedianOfFive(s); got.Key != c.want {
+			t.Errorf("MedianOfFive(%v) = %v, want key %d", c.keys, got, c.want)
+		}
+	}
+}
+
+func TestMedianOfFivePanics(t *testing.T) {
+	for _, n := range []int{0, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MedianOfFive(len=%d) did not panic", n)
+				}
+			}()
+			MedianOfFive(make([]emio.Elem, n))
+		}()
+	}
+}
+
+func TestMultiSelect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	orig := randElems(300, rng)
+	want := sortedCopy(orig)
+	ranks := []int{1, 300, 150, 150, 7, 299, 42} // unsorted, with duplicates
+	s := append([]emio.Elem(nil), orig...)
+	got := MultiSelect(s, ranks)
+	for i, r := range ranks {
+		if got[i] != want[r-1] {
+			t.Errorf("MultiSelect rank %d = %v, want %v", r, got[i], want[r-1])
+		}
+	}
+}
+
+func TestMultiSelectEmptyRanks(t *testing.T) {
+	s := randElems(10, rand.New(rand.NewPCG(4, 4)))
+	if got := MultiSelect(s, nil); len(got) != 0 {
+		t.Errorf("MultiSelect(nil ranks) = %v", got)
+	}
+}
+
+func TestMultiSelectAllRanks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	orig := randElems(64, rng)
+	want := sortedCopy(orig)
+	ranks := make([]int, 64)
+	for i := range ranks {
+		ranks[i] = i + 1
+	}
+	got := MultiSelect(append([]emio.Elem(nil), orig...), ranks)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("full multiselect differs at %d", i)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	s := []emio.Elem{{Key: 1, Aux: 0}, {Key: 3, Aux: 1}, {Key: 3, Aux: 2}, {Key: 5, Aux: 3}}
+	cases := []struct {
+		e    emio.Elem
+		want int
+	}{
+		{emio.Elem{Key: 0, Aux: 0}, 0},
+		{emio.Elem{Key: 1, Aux: 0}, 1},
+		{emio.Elem{Key: 3, Aux: 1}, 2},
+		{emio.Elem{Key: 3, Aux: 99}, 3},
+		{emio.Elem{Key: 9, Aux: 0}, 4},
+	}
+	for _, c := range cases {
+		if got := Rank(s, c.e); got != c.want {
+			t.Errorf("Rank(%v) = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestSelectAgainstSortProperty(t *testing.T) {
+	prop := func(keys []int64, kraw uint) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		s := make([]emio.Elem, len(keys))
+		for i, k := range keys {
+			s[i] = emio.Elem{Key: k, Aux: int64(i)}
+		}
+		k := int(kraw%uint(len(s))) + 1
+		want := sortedCopy(s)[k-1]
+		return Select(s, k) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiSelectProperty(t *testing.T) {
+	prop := func(keys []int64, rraw []uint) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		s := make([]emio.Elem, len(keys))
+		for i, k := range keys {
+			s[i] = emio.Elem{Key: k, Aux: int64(i)}
+		}
+		ranks := make([]int, len(rraw))
+		for i, r := range rraw {
+			ranks[i] = int(r%uint(len(s))) + 1
+		}
+		want := sortedCopy(s)
+		got := MultiSelect(s, ranks)
+		for i, r := range ranks {
+			if got[i] != want[r-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartition3Invariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 50; trial++ {
+		s := randElems(100, rng)
+		pivot := s[rng.IntN(len(s))]
+		lt, eq := partition3(s, pivot)
+		for i, e := range s {
+			c := emio.Compare(e, pivot)
+			switch {
+			case i < lt && c >= 0:
+				t.Fatalf("trial %d: s[%d]=%v not < pivot %v", trial, i, e, pivot)
+			case i >= lt && i < lt+eq && c != 0:
+				t.Fatalf("trial %d: s[%d]=%v not == pivot %v", trial, i, e, pivot)
+			case i >= lt+eq && c <= 0:
+				t.Fatalf("trial %d: s[%d]=%v not > pivot %v", trial, i, e, pivot)
+			}
+		}
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	s := randElems(1<<16, rng)
+	tmp := make([]emio.Elem, len(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(tmp, s)
+		Select(tmp, len(tmp)/2)
+	}
+}

@@ -1,0 +1,126 @@
+// Package mmheap implements a k-way merge over element sources using a
+// tournament (loser) tree, the classic in-memory machinery of the merge phase
+// of external merge sort: each Next costs O(lg k) comparisons and exactly one
+// source advance, independent of k.
+package mmheap
+
+import (
+	"fmt"
+
+	"repro/internal/emio"
+)
+
+// Source yields elements in nondecreasing (Key, Aux) order. The second result
+// is false when the source is exhausted. Sources that can fail (disk-backed
+// readers) surface their error through their own Err method after the merge
+// drains; the merger itself never fabricates elements.
+type Source func() (emio.Elem, bool)
+
+// Merger merges k sorted sources into one sorted stream.
+type Merger struct {
+	ctx   *emio.Ctx
+	k     int         // real sources
+	kp    int         // padded to a power of two
+	loser []int32     // loser[1..kp-1] internal nodes; loser[0] = winner
+	head  []emio.Elem // current front element per leaf
+	ok    []bool      // leaf has a valid head
+	src   []Source
+	freed bool
+	chg   int64 // memory charged
+}
+
+// New builds a merger over the given sources, charging the tournament state
+// (O(k) words) to the memory budget. Close releases the charge.
+func New(ctx *emio.Ctx, sources []Source) (*Merger, error) {
+	k := len(sources)
+	if k == 0 {
+		return nil, fmt.Errorf("mmheap: no sources")
+	}
+	kp := 1
+	for kp < k {
+		kp *= 2
+	}
+	// head: kp elems; loser + ok: well under one extra elem per leaf.
+	chg := int64(2 * kp)
+	if err := ctx.Mem().Charge(chg); err != nil {
+		return nil, err
+	}
+	m := &Merger{
+		ctx:   ctx,
+		k:     k,
+		kp:    kp,
+		loser: make([]int32, kp),
+		head:  make([]emio.Elem, kp),
+		ok:    make([]bool, kp),
+		src:   sources,
+		chg:   chg,
+	}
+	for i := 0; i < k; i++ {
+		m.head[i], m.ok[i] = sources[i]()
+	}
+	m.build()
+	return m, nil
+}
+
+// beats reports whether leaf a wins against leaf b (exhausted leaves always
+// lose; among two exhausted leaves the lower index wins, arbitrarily).
+func (m *Merger) beats(a, b int32) bool {
+	switch {
+	case !m.ok[a] && !m.ok[b]:
+		return a < b
+	case !m.ok[a]:
+		return false
+	case !m.ok[b]:
+		return true
+	default:
+		return !emio.Less(m.head[b], m.head[a]) // ties to the lower index via total order
+	}
+}
+
+// build plays the full tournament bottom-up; node x (1 <= x < kp) covers
+// leaves [x*span, (x+1)*span) where span = kp/2^depth(x).
+func (m *Merger) build() {
+	winners := make([]int32, 2*m.kp)
+	for i := 0; i < m.kp; i++ {
+		winners[m.kp+i] = int32(i)
+	}
+	for x := m.kp - 1; x >= 1; x-- {
+		a, b := winners[2*x], winners[2*x+1]
+		if m.beats(a, b) {
+			winners[x], m.loser[x] = a, b
+		} else {
+			winners[x], m.loser[x] = b, a
+		}
+	}
+	m.loser[0] = winners[1]
+}
+
+// Next returns the smallest remaining element across all sources.
+func (m *Merger) Next() (emio.Elem, bool) {
+	w := m.loser[0]
+	if !m.ok[w] {
+		return emio.Elem{}, false
+	}
+	e := m.head[w]
+	m.head[w], m.ok[w] = m.src[w]()
+	// Replay the path from leaf w to the root.
+	cand := w
+	for x := (int32(m.kp) + w) / 2; x >= 1; x /= 2 {
+		if m.beats(m.loser[x], cand) {
+			cand, m.loser[x] = m.loser[x], cand
+		}
+	}
+	m.loser[0] = cand
+	return e, true
+}
+
+// K returns the number of sources being merged.
+func (m *Merger) K() int { return m.k }
+
+// Close releases the tournament state's memory charge. Safe to call twice.
+func (m *Merger) Close() {
+	if !m.freed {
+		m.ctx.Mem().Credit(m.chg)
+		m.freed = true
+	}
+}

@@ -1,0 +1,229 @@
+package mmheap
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emio"
+)
+
+func sliceSource(s []emio.Elem) Source {
+	i := 0
+	return func() (emio.Elem, bool) {
+		if i >= len(s) {
+			return emio.Elem{}, false
+		}
+		e := s[i]
+		i++
+		return e, true
+	}
+}
+
+func mustCtx(t *testing.T) *emio.Ctx {
+	t.Helper()
+	ctx, err := emio.NewUnmeteredCtx(emio.Config{M: 1 << 20, B: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func drain(t *testing.T, m *Merger) []emio.Elem {
+	t.Helper()
+	var out []emio.Elem
+	for {
+		e, ok := m.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func mergeCase(t *testing.T, runs [][]emio.Elem) {
+	t.Helper()
+	ctx := mustCtx(t)
+	srcs := make([]Source, len(runs))
+	var all []emio.Elem
+	for i, r := range runs {
+		srcs[i] = sliceSource(r)
+		all = append(all, r...)
+	}
+	m, err := New(ctx, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, m)
+	m.Close()
+	sort.Slice(all, func(i, j int) bool { return emio.Less(all[i], all[j]) })
+	if len(got) != len(all) {
+		t.Fatalf("merged %d elements, want %d", len(got), len(all))
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("merge differs at %d: %v vs %v", i, got[i], all[i])
+		}
+	}
+	if ctx.Mem().Used() != 0 {
+		t.Fatalf("merger leaked %d memory", ctx.Mem().Used())
+	}
+}
+
+func e(k int64) emio.Elem { return emio.Elem{Key: k, Aux: k} }
+
+func TestMergeSingleSource(t *testing.T) {
+	mergeCase(t, [][]emio.Elem{{e(1), e(2), e(3)}})
+}
+
+func TestMergeTwoSources(t *testing.T) {
+	mergeCase(t, [][]emio.Elem{{e(1), e(3), e(5)}, {e(2), e(4), e(6)}})
+}
+
+func TestMergeEmptySources(t *testing.T) {
+	mergeCase(t, [][]emio.Elem{{}, {e(1)}, {}, {e(0), e(2)}, {}})
+}
+
+func TestMergeAllEmpty(t *testing.T) {
+	mergeCase(t, [][]emio.Elem{{}, {}, {}})
+}
+
+func TestMergeNonPowerOfTwo(t *testing.T) {
+	mergeCase(t, [][]emio.Elem{
+		{e(10), e(20)}, {e(5)}, {e(1), e(2), e(30)},
+	})
+}
+
+func TestMergeDuplicateKeys(t *testing.T) {
+	a := []emio.Elem{{Key: 1, Aux: 0}, {Key: 1, Aux: 2}, {Key: 1, Aux: 4}}
+	b := []emio.Elem{{Key: 1, Aux: 1}, {Key: 1, Aux: 3}, {Key: 1, Aux: 5}}
+	mergeCase(t, [][]emio.Elem{a, b})
+}
+
+func TestMergeSkewedLengths(t *testing.T) {
+	long := make([]emio.Elem, 1000)
+	for i := range long {
+		long[i] = e(int64(2 * i))
+	}
+	mergeCase(t, [][]emio.Elem{long, {e(501)}, {}})
+}
+
+func TestMergeManySources(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	runs := make([][]emio.Elem, 129) // non-power-of-two, large
+	for i := range runs {
+		n := rng.IntN(50)
+		r := make([]emio.Elem, n)
+		for j := range r {
+			r[j] = emio.Elem{Key: rng.Int64N(1000), Aux: int64(i*1000 + j)}
+		}
+		sort.Slice(r, func(a, b int) bool { return emio.Less(r[a], r[b]) })
+		runs[i] = r
+	}
+	mergeCase(t, runs)
+}
+
+func TestNewRejectsNoSources(t *testing.T) {
+	if _, err := New(mustCtx(t), nil); err == nil {
+		t.Error("New with no sources succeeded")
+	}
+}
+
+func TestNewRespectsBudget(t *testing.T) {
+	ctx, err := emio.NewCtx(emio.Config{M: 16, B: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]Source, 64)
+	for i := range srcs {
+		srcs[i] = sliceSource(nil)
+	}
+	if _, err := New(ctx, srcs); err == nil {
+		t.Error("64-way merger fit in M=16")
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	prop := func(raw [][]int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		runs := make([][]emio.Elem, len(raw))
+		var all []emio.Elem
+		aux := int64(0)
+		for i, keys := range raw {
+			r := make([]emio.Elem, len(keys))
+			for j, k := range keys {
+				r[j] = emio.Elem{Key: k, Aux: aux}
+				aux++
+			}
+			sort.Slice(r, func(a, b int) bool { return emio.Less(r[a], r[b]) })
+			runs[i] = r
+			all = append(all, r...)
+		}
+		ctx, _ := emio.NewUnmeteredCtx(emio.Config{M: 1 << 20, B: 64})
+		srcs := make([]Source, len(runs))
+		for i, r := range runs {
+			srcs[i] = sliceSource(r)
+		}
+		m, err := New(ctx, srcs)
+		if err != nil {
+			return false
+		}
+		defer m.Close()
+		sort.Slice(all, func(i, j int) bool { return emio.Less(all[i], all[j]) })
+		for _, want := range all {
+			got, ok := m.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := m.Next()
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMerge64Way(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	runs := make([][]emio.Elem, 64)
+	for i := range runs {
+		r := make([]emio.Elem, 1024)
+		for j := range r {
+			r[j] = emio.Elem{Key: rng.Int64(), Aux: int64(j)}
+		}
+		sort.Slice(r, func(a, b int) bool { return emio.Less(r[a], r[b]) })
+		runs[i] = r
+	}
+	ctx, _ := emio.NewUnmeteredCtx(emio.Config{M: 1 << 20, B: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcs := make([]Source, len(runs))
+		for j, r := range runs {
+			srcs[j] = sliceSource(r)
+		}
+		m, _ := New(ctx, srcs)
+		for {
+			if _, ok := m.Next(); !ok {
+				break
+			}
+		}
+		m.Close()
+	}
+}
+
+func TestMergerK(t *testing.T) {
+	ctx := mustCtx(t)
+	m, err := New(ctx, []Source{sliceSource(nil), sliceSource(nil), sliceSource(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.K() != 3 {
+		t.Errorf("K = %d", m.K())
+	}
+}

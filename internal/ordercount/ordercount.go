@@ -1,0 +1,253 @@
+// Package ordercount makes the order-theoretic machinery of the paper's
+// lower-bound proofs executable at small scale: exact counting of the linear
+// extensions CP(≺, X) of a partial order, maximum antichains and minimum
+// chain partitions (Dilworth's theorem, the paper's Theorem 7), and thereby
+// numerical verification of Fact 4 (product rule for stacked posets), Fact 5
+// (the binomial subset inequality) and Lemma 3 (lg|CP| <= n lg w + O(lg n)).
+//
+// The proofs in §2 bound |CP(≺*, S)| for the order an algorithm has learned;
+// this package lets tests check those combinatorial inequalities exactly on
+// every small poset they can throw at them, including the Π_hard stripe
+// structure whose count ((N/B)!)^B drives Lemma 1.
+//
+// Sizes are capped at 20 elements: linear-extension counting is #P-hard in
+// general and the exact downset DP used here is Θ(2^n · n); 20! still fits
+// in uint64.
+package ordercount
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// MaxElems bounds the poset size the exact counter accepts.
+const MaxElems = 20
+
+// Poset is a partial order over elements 0..n-1, stored as transitively
+// closed predecessor masks: pred[i] has bit j set iff j ≺ i.
+type Poset struct {
+	n    int
+	pred []uint32
+	succ []uint32
+}
+
+// New creates an antichain (no relations) over n elements.
+func New(n int) (*Poset, error) {
+	if n < 0 || n > MaxElems {
+		return nil, fmt.Errorf("ordercount: n=%d out of [0,%d]", n, MaxElems)
+	}
+	return &Poset{n: n, pred: make([]uint32, n), succ: make([]uint32, n)}, nil
+}
+
+// N returns the number of elements.
+func (p *Poset) N() int { return p.n }
+
+// AddLess records i ≺ j and re-closes the order transitively. Adding a
+// relation that would create a cycle is an error.
+func (p *Poset) AddLess(i, j int) error {
+	if i < 0 || i >= p.n || j < 0 || j >= p.n || i == j {
+		return fmt.Errorf("ordercount: bad relation %d ≺ %d", i, j)
+	}
+	if p.pred[i]&(1<<j) != 0 {
+		return fmt.Errorf("ordercount: %d ≺ %d would create a cycle", i, j)
+	}
+	// Everything at or below i precedes everything at or above j.
+	lows := p.pred[i] | 1<<i
+	highs := p.succ[j] | 1<<j
+	for a := 0; a < p.n; a++ {
+		if lows&(1<<a) != 0 {
+			p.succ[a] |= highs
+		}
+		if highs&(1<<a) != 0 {
+			p.pred[a] |= lows
+		}
+	}
+	return nil
+}
+
+// Less reports whether i ≺ j.
+func (p *Poset) Less(i, j int) bool { return p.pred[j]&(1<<i) != 0 }
+
+// Comparable reports whether i and j are ordered either way.
+func (p *Poset) Comparable(i, j int) bool { return p.Less(i, j) || p.Less(j, i) }
+
+// CountLinearExtensions returns |CP(≺, X)| exactly, by the standard dynamic
+// program over downsets: the number of ways to extend a downset S is the sum
+// over maximal elements of S of the count for S minus that element.
+// Θ(2^n · n) time, Θ(2^n) space.
+func (p *Poset) CountLinearExtensions() uint64 {
+	if p.n == 0 {
+		return 1
+	}
+	full := uint32(1)<<p.n - 1
+	dp := make([]uint64, full+1)
+	dp[0] = 1
+	for s := uint32(1); s <= full; s++ {
+		var total uint64
+		rest := s
+		for rest != 0 {
+			i := bits.TrailingZeros32(rest)
+			rest &= rest - 1
+			// i is maximal in the downset s iff none of its successors is in s.
+			if p.succ[i]&s == 0 {
+				total += dp[s&^(1<<i)]
+			}
+		}
+		dp[s] = total
+	}
+	return dp[full]
+}
+
+// CountLinearExtensionsOf counts the linear extensions of the sub-poset
+// induced by the element set given as a bitmask.
+func (p *Poset) CountLinearExtensionsOf(subset uint32) uint64 {
+	return p.Induce(subset).CountLinearExtensions()
+}
+
+// Induce builds the sub-poset on the elements of subset (a bitmask),
+// renumbering them by ascending original index.
+func (p *Poset) Induce(subset uint32) *Poset {
+	var idx []int
+	for i := 0; i < p.n; i++ {
+		if subset&(1<<i) != 0 {
+			idx = append(idx, i)
+		}
+	}
+	q, _ := New(len(idx))
+	for a, i := range idx {
+		for b, j := range idx {
+			if p.Less(i, j) {
+				q.pred[b] |= 1 << a
+				q.succ[a] |= 1 << b
+			}
+		}
+	}
+	return q
+}
+
+// MaxAntichain returns a maximum set of pairwise incomparable elements (as a
+// bitmask) and its size, via Dilworth's theorem: a minimum chain cover has
+// n - maxMatching chains, and König's construction turns a maximum matching
+// of the comparability DAG into a maximum antichain of the same size.
+func (p *Poset) MaxAntichain() (uint32, int) {
+	matchL, matchR := p.maxMatching()
+	// König: minimum vertex cover from the matching on the bipartite graph
+	// L = elements (as chain heads), R = elements (as chain tails),
+	// edge (i, j) iff i ≺ j. Alternating BFS from unmatched L vertices.
+	visL := make([]bool, p.n)
+	visR := make([]bool, p.n)
+	var stack []int
+	for i := 0; i < p.n; i++ {
+		if matchL[i] == -1 {
+			visL[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < p.n; j++ {
+			if p.Less(i, j) && !visR[j] {
+				visR[j] = true
+				if k := matchR[j]; k != -1 && !visL[k] {
+					visL[k] = true
+					stack = append(stack, k)
+				}
+			}
+		}
+	}
+	// Vertex cover = (L not visited) ∪ (R visited). An element is in the
+	// antichain iff neither of its two copies is in the cover.
+	var anti uint32
+	size := 0
+	for i := 0; i < p.n; i++ {
+		if visL[i] && !visR[i] {
+			anti |= 1 << i
+			size++
+		}
+	}
+	return anti, size
+}
+
+// MinChainCover returns a partition of the elements into the minimum number
+// of chains (each chain listed in increasing order), via the same matching.
+func (p *Poset) MinChainCover() [][]int {
+	matchL, matchR := p.maxMatching()
+	var chains [][]int
+	for i := 0; i < p.n; i++ {
+		if matchR[i] != -1 {
+			continue // not a chain head (has a predecessor in the cover)
+		}
+		chain := []int{i}
+		for cur := i; matchL[cur] != -1; {
+			cur = matchL[cur]
+			chain = append(chain, cur)
+		}
+		chains = append(chains, chain)
+	}
+	return chains
+}
+
+// maxMatching computes a maximum matching of the bipartite comparability
+// graph (edge i -> j iff i ≺ j) by simple augmenting paths: adequate for
+// n <= 20.
+func (p *Poset) maxMatching() (matchL, matchR []int) {
+	matchL = make([]int, p.n)
+	matchR = make([]int, p.n)
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	var try func(i int, seen []bool) bool
+	try = func(i int, seen []bool) bool {
+		for j := 0; j < p.n; j++ {
+			if p.Less(i, j) && !seen[j] {
+				seen[j] = true
+				if matchR[j] == -1 || try(matchR[j], seen) {
+					matchL[i] = j
+					matchR[j] = i
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i := 0; i < p.n; i++ {
+		try(i, make([]bool, p.n))
+	}
+	return matchL, matchR
+}
+
+// Binomial returns C(n, k) exactly.
+func Binomial(n, k int) *big.Int {
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Factorial returns n! exactly.
+func Factorial(n int) *big.Int {
+	return new(big.Int).MulRange(1, int64(n))
+}
+
+// HardStripePoset builds the Π_hard structure of §2.1 at small scale:
+// stripes of `perStripe` free elements each, with every element of stripe i
+// preceding every element of stripe i+1. Its linear extension count is
+// (perStripe!)^stripes, the |Π_hard| of Lemma 1.
+func HardStripePoset(stripes, perStripe int) (*Poset, error) {
+	n := stripes * perStripe
+	p, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	at := func(s, k int) int { return s*perStripe + k }
+	for s := 0; s+1 < stripes; s++ {
+		for a := 0; a < perStripe; a++ {
+			for b := 0; b < perStripe; b++ {
+				if err := p.AddLess(at(s, a), at(s+1, b)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return p, nil
+}

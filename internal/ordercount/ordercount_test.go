@@ -1,0 +1,273 @@
+package ordercount
+
+import (
+	"math"
+	"math/big"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomPoset builds a random DAG order on n elements with the given edge
+// probability, transitively closed.
+func randomPoset(t *testing.T, n int, prob float64, rng *rand.Rand) *Poset {
+	t.Helper()
+	p, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Respect a random underlying topological order to avoid cycles.
+	perm := rng.Perm(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < prob {
+				if err := p.AddLess(perm[a], perm[b]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return p
+}
+
+func TestCountTotalOrderAndAntichain(t *testing.T) {
+	p, _ := New(6)
+	for i := 0; i < 5; i++ {
+		if err := p.AddLess(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.CountLinearExtensions(); got != 1 {
+		t.Errorf("chain has %d extensions, want 1", got)
+	}
+	q, _ := New(6)
+	if got, want := q.CountLinearExtensions(), Factorial(6).Uint64(); got != want {
+		t.Errorf("antichain has %d extensions, want 6! = %d", got, want)
+	}
+	empty, _ := New(0)
+	if got := empty.CountLinearExtensions(); got != 1 {
+		t.Errorf("empty poset: %d extensions, want 1", got)
+	}
+}
+
+func TestCountBruteForceCrossCheck(t *testing.T) {
+	// Compare the downset DP against brute-force permutation checking.
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.IntN(5) // up to 7 elements: 5040 permutations
+		p := randomPoset(t, n, 0.4, rng)
+		var brute uint64
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				for a := 0; a < n; a++ {
+					for b := a + 1; b < n; b++ {
+						if p.Less(perm[b], perm[a]) {
+							return
+						}
+					}
+				}
+				brute++
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if got := p.CountLinearExtensions(); got != brute {
+			t.Fatalf("trial %d (n=%d): DP %d, brute force %d", trial, n, got, brute)
+		}
+	}
+}
+
+func TestAddLessRejectsCycles(t *testing.T) {
+	p, _ := New(3)
+	if err := p.AddLess(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLess(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLess(2, 0); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := p.AddLess(0, 0); err == nil {
+		t.Error("self-relation accepted")
+	}
+}
+
+// TestFact4ProductRule: if X splits into X1 entirely below X2, then
+// |CP(X)| = |CP(X1)| * |CP(X2)|.
+func TestFact4ProductRule(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 20; trial++ {
+		n1, n2 := 2+rng.IntN(4), 2+rng.IntN(4)
+		p, _ := New(n1 + n2)
+		// Random internal relations within each side.
+		for a := 0; a < n1; a++ {
+			for b := a + 1; b < n1; b++ {
+				if rng.Float64() < 0.3 {
+					p.AddLess(a, b)
+				}
+			}
+		}
+		for a := n1; a < n1+n2; a++ {
+			for b := a + 1; b < n1+n2; b++ {
+				if rng.Float64() < 0.3 {
+					p.AddLess(a, b)
+				}
+			}
+		}
+		// Everything in X1 below everything in X2.
+		for a := 0; a < n1; a++ {
+			for b := n1; b < n1+n2; b++ {
+				if err := p.AddLess(a, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		mask1 := uint32(1)<<n1 - 1
+		mask2 := (uint32(1)<<(n1+n2) - 1) &^ mask1
+		whole := p.CountLinearExtensions()
+		left := p.CountLinearExtensionsOf(mask1)
+		right := p.CountLinearExtensionsOf(mask2)
+		if whole != left*right {
+			t.Fatalf("trial %d: |CP(X)|=%d != %d * %d (Fact 4)", trial, whole, left, right)
+		}
+	}
+}
+
+// TestFact5SubsetInequality: |CP(X)| <= |CP(Y)| * |CP(X\Y)| * C(|X|, |Y|)
+// for every subset Y of random posets.
+func TestFact5SubsetInequality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.IntN(4)
+		p := randomPoset(t, n, 0.35, rng)
+		whole := new(big.Int).SetUint64(p.CountLinearExtensions())
+		full := uint32(1)<<n - 1
+		for y := uint32(0); y <= full; y += 1 + uint32(rng.IntN(7)) {
+			cy := new(big.Int).SetUint64(p.CountLinearExtensionsOf(y))
+			cz := new(big.Int).SetUint64(p.CountLinearExtensionsOf(full &^ y))
+			k := 0
+			for m := y; m != 0; m &= m - 1 {
+				k++
+			}
+			bound := new(big.Int).Mul(cy, cz)
+			bound.Mul(bound, Binomial(n, k))
+			if whole.Cmp(bound) > 0 {
+				t.Fatalf("trial %d Y=%b: |CP(X)|=%v > bound %v (Fact 5)", trial, y, whole, bound)
+			}
+		}
+	}
+}
+
+// TestLemma3WidthBound: lg|CP(X)| <= n lg w + O(lg n) where w is the maximum
+// antichain size. The O(lg n) slack is checked at 2 lg n + 2.
+func TestLemma3WidthBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.IntN(9)
+		p := randomPoset(t, n, 0.1+rng.Float64()*0.5, rng)
+		_, w := p.MaxAntichain()
+		cnt := p.CountLinearExtensions()
+		lgCP := math.Log2(float64(cnt))
+		bound := float64(n)*math.Log2(float64(w)) + 2*math.Log2(float64(n)) + 2
+		if lgCP > bound {
+			t.Fatalf("trial %d (n=%d, w=%d): lg|CP| = %.2f > %.2f (Lemma 3)", trial, n, w, lgCP, bound)
+		}
+	}
+}
+
+// TestDilworth: the maximum antichain size equals the minimum chain cover
+// size (Theorem 7), the antichain is pairwise incomparable, and the chains
+// are valid and partition the ground set.
+func TestDilworth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.IntN(12)
+		p := randomPoset(t, n, 0.1+rng.Float64()*0.6, rng)
+		anti, w := p.MaxAntichain()
+		// Antichain valid?
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if anti&(1<<i) != 0 && anti&(1<<j) != 0 && p.Comparable(i, j) {
+					t.Fatalf("trial %d: antichain contains comparable %d, %d", trial, i, j)
+				}
+			}
+		}
+		chains := p.MinChainCover()
+		if len(chains) != w {
+			t.Fatalf("trial %d: %d chains vs antichain width %d (Dilworth)", trial, len(chains), w)
+		}
+		var covered uint32
+		for _, ch := range chains {
+			for k := 1; k < len(ch); k++ {
+				if !p.Less(ch[k-1], ch[k]) {
+					t.Fatalf("trial %d: chain %v broken at %d", trial, ch, k)
+				}
+			}
+			for _, e := range ch {
+				if covered&(1<<e) != 0 {
+					t.Fatalf("trial %d: element %d in two chains", trial, e)
+				}
+				covered |= 1 << e
+			}
+		}
+		if covered != uint32(1)<<n-1 {
+			t.Fatalf("trial %d: chains cover %b of %d elements", trial, covered, n)
+		}
+	}
+}
+
+// TestHardStripeCount: the Π_hard structure at small scale has exactly
+// (perStripe!)^stripes linear extensions — the |Π_hard| of Lemma 1.
+func TestHardStripeCount(t *testing.T) {
+	for _, tc := range []struct{ stripes, per int }{
+		{1, 4}, {2, 3}, {3, 4}, {4, 3}, {2, 6},
+	} {
+		p, err := HardStripePoset(tc.stripes, tc.per)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(Factorial(tc.per), big.NewInt(int64(tc.stripes)), nil)
+		if got := p.CountLinearExtensions(); got != want.Uint64() {
+			t.Errorf("stripes=%d per=%d: %d extensions, want (%d!)^%d = %v",
+				tc.stripes, tc.per, got, tc.per, tc.stripes, want)
+		}
+	}
+}
+
+func TestHardStripeWidth(t *testing.T) {
+	// The width of the stripe poset is the stripe size (each stripe is an
+	// antichain; stripes are stacked).
+	p, err := HardStripePoset(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, w := p.MaxAntichain(); w != 5 {
+		t.Errorf("stripe poset width %d, want 5", w)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(MaxElems + 1); err == nil {
+		t.Error("oversized poset accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestPosetN(t *testing.T) {
+	p, _ := New(7)
+	if p.N() != 7 {
+		t.Errorf("N = %d", p.N())
+	}
+}

@@ -1,0 +1,180 @@
+// Package verify checks algorithm outputs against the problem definitions of
+// the paper. It is harness-side code (tests, benchmarks, CLI tools): it works
+// on host snapshots of files, uses unbounded host memory, and performs no
+// counted I/O — the algorithms being verified never call into it.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/emio"
+)
+
+func sortedCopy(s []emio.Elem) []emio.Elem {
+	c := append([]emio.Elem(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return emio.Less(c[i], c[j]) })
+	return c
+}
+
+// SameMultiset reports an error unless got and want hold exactly the same
+// records (in any order).
+func SameMultiset(got, want []emio.Elem) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("verify: %d elements, want %d", len(got), len(want))
+	}
+	g, w := sortedCopy(got), sortedCopy(want)
+	for i := range w {
+		if g[i] != w[i] {
+			return fmt.Errorf("verify: multisets differ at sorted position %d: %v vs %v", i, g[i], w[i])
+		}
+	}
+	return nil
+}
+
+// Splitters checks the approximate K-splitters contract: the output holds
+// exactly k-1 distinct elements of the input, and every bucket they induce
+// (interval (s_{i-1}, s_i] of the total order) has size in [a, min(b, n)].
+// It returns the bucket sizes in splitter order for further inspection.
+func Splitters(input, splitters []emio.Elem, k, a, b int64) ([]int64, error) {
+	n := int64(len(input))
+	if int64(len(splitters)) != k-1 {
+		return nil, fmt.Errorf("verify: %d splitters, want K-1 = %d", len(splitters), k-1)
+	}
+	sp := sortedCopy(splitters)
+	for i := 1; i < len(sp); i++ {
+		if sp[i] == sp[i-1] {
+			return nil, fmt.Errorf("verify: duplicate splitter %v", sp[i])
+		}
+	}
+	members := make(map[emio.Elem]bool, len(input))
+	for _, e := range input {
+		members[e] = true
+	}
+	for _, s := range sp {
+		if !members[s] {
+			return nil, fmt.Errorf("verify: splitter %v is not an input element", s)
+		}
+	}
+	sizes := make([]int64, k)
+	for _, e := range input {
+		i := sort.Search(len(sp), func(j int) bool { return !emio.Less(sp[j], e) })
+		sizes[i]++
+	}
+	bEff := b
+	if bEff > n {
+		bEff = n
+	}
+	for i, s := range sizes {
+		if s < a || s > bEff {
+			return sizes, fmt.Errorf("verify: bucket %d size %d outside [%d,%d]", i, s, a, bEff)
+		}
+	}
+	return sizes, nil
+}
+
+// Partition checks the approximate K-partitioning contract on a concatenated
+// output: same multiset as the input, k segments of the reported sizes each
+// in [a, min(b, n)], sizes summing to n, and every element of a segment
+// preceding every element of all later segments in the total order.
+func Partition(input, data []emio.Elem, sizes []int64, k, a, b int64) error {
+	n := int64(len(input))
+	if int64(len(sizes)) != k {
+		return fmt.Errorf("verify: %d sizes, want K = %d", len(sizes), k)
+	}
+	if err := SameMultiset(data, input); err != nil {
+		return err
+	}
+	bEff := b
+	if bEff > n {
+		bEff = n
+	}
+	var sum int64
+	for i, s := range sizes {
+		if s < a || s > bEff {
+			return fmt.Errorf("verify: partition %d size %d outside [%d,%d]", i, s, a, bEff)
+		}
+		sum += s
+	}
+	if sum != n {
+		return fmt.Errorf("verify: sizes sum to %d, want %d", sum, n)
+	}
+	return OrderedSegments(data, sizes)
+}
+
+// OrderedSegments checks that consecutive segments of the given sizes respect
+// the order: max of segment i < min of segment j for every i < j with both
+// nonempty.
+func OrderedSegments(data []emio.Elem, sizes []int64) error {
+	off := int64(0)
+	havePrev := false
+	var prevMax emio.Elem
+	for seg, sz := range sizes {
+		if sz == 0 {
+			continue
+		}
+		segMin, segMax := data[off], data[off]
+		for _, e := range data[off : off+sz] {
+			if emio.Less(e, segMin) {
+				segMin = e
+			}
+			if emio.Less(segMax, e) {
+				segMax = e
+			}
+		}
+		if havePrev && !emio.Less(prevMax, segMin) {
+			return fmt.Errorf("verify: segment %d min %v does not exceed previous max %v", seg, segMin, prevMax)
+		}
+		prevMax, havePrev = segMax, true
+		off += sz
+	}
+	if off != int64(len(data)) {
+		return fmt.Errorf("verify: segments cover %d of %d elements", off, len(data))
+	}
+	return nil
+}
+
+// MultiSelect checks that got[i] is the element of rank ranks[i] in the
+// input.
+func MultiSelect(input []emio.Elem, ranks []int64, got []emio.Elem) error {
+	if len(got) != len(ranks) {
+		return fmt.Errorf("verify: %d results for %d ranks", len(got), len(ranks))
+	}
+	want := sortedCopy(input)
+	for i, r := range ranks {
+		if r < 1 || r > int64(len(input)) {
+			return fmt.Errorf("verify: rank %d out of range", r)
+		}
+		if got[i] != want[r-1] {
+			return fmt.Errorf("verify: rank %d = %v, want %v", r, got[i], want[r-1])
+		}
+	}
+	return nil
+}
+
+// PrecisePartition checks the §3 reduction output: the data is the input
+// multiset cut into consecutive order-respecting chunks of size exactly b
+// (the last possibly shorter).
+func PrecisePartition(input, data []emio.Elem, b int64) error {
+	if err := SameMultiset(data, input); err != nil {
+		return err
+	}
+	var sizes []int64
+	rest := int64(len(data))
+	for rest > 0 {
+		s := min(b, rest)
+		sizes = append(sizes, s)
+		rest -= s
+	}
+	return OrderedSegments(data, sizes)
+}
+
+// Sorted reports an error unless data is nondecreasing in the total order.
+func Sorted(data []emio.Elem) error {
+	for i := 1; i < len(data); i++ {
+		if emio.Less(data[i], data[i-1]) {
+			return fmt.Errorf("verify: order violated at %d: %v after %v", i, data[i], data[i-1])
+		}
+	}
+	return nil
+}

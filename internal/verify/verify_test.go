@@ -1,0 +1,157 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emio"
+)
+
+func seq(keys ...int64) []emio.Elem {
+	s := make([]emio.Elem, len(keys))
+	for i, k := range keys {
+		s[i] = emio.Elem{Key: k, Aux: int64(i)}
+	}
+	return s
+}
+
+func TestSameMultiset(t *testing.T) {
+	a := seq(3, 1, 2)
+	b := []emio.Elem{a[2], a[0], a[1]} // permutation
+	if err := SameMultiset(b, a); err != nil {
+		t.Errorf("permutation rejected: %v", err)
+	}
+	if err := SameMultiset(a[:2], a); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	c := append([]emio.Elem(nil), a...)
+	c[0].Key = 99
+	if err := SameMultiset(c, a); err == nil {
+		t.Error("altered element accepted")
+	}
+}
+
+func TestSplittersAcceptsValid(t *testing.T) {
+	in := seq(10, 20, 30, 40, 50, 60)
+	sp := []emio.Elem{in[1], in[3]} // keys 20, 40 -> buckets 2,2,2
+	sizes, err := Splitters(in, sp, 3, 1, 3)
+	if err != nil {
+		t.Fatalf("valid splitters rejected: %v", err)
+	}
+	for i, s := range sizes {
+		if s != 2 {
+			t.Errorf("bucket %d = %d, want 2", i, s)
+		}
+	}
+}
+
+func TestSplittersRejections(t *testing.T) {
+	in := seq(10, 20, 30, 40, 50, 60)
+	cases := []struct {
+		name    string
+		sp      []emio.Elem
+		k, a, b int64
+		substr  string
+	}{
+		{"wrong count", []emio.Elem{in[1]}, 3, 0, 6, "want K-1"},
+		{"duplicate", []emio.Elem{in[1], in[1]}, 3, 0, 6, "duplicate"},
+		{"not member", []emio.Elem{in[1], {Key: 99, Aux: 99}}, 3, 0, 6, "not an input element"},
+		{"bucket too small", []emio.Elem{in[0], in[1]}, 3, 2, 6, "outside"},
+		{"bucket too big", []emio.Elem{in[0], in[1]}, 3, 0, 3, "outside"},
+	}
+	for _, c := range cases {
+		if _, err := Splitters(in, c.sp, c.k, c.a, c.b); err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.substr)
+		}
+	}
+}
+
+func TestPartitionAcceptsValid(t *testing.T) {
+	in := seq(5, 3, 1, 6, 4, 2)
+	data := seq(0) // rebuild: segments [1,2] [3,4] [5,6] in scrambled inner order
+	data = []emio.Elem{
+		{Key: 2, Aux: 5}, {Key: 1, Aux: 2},
+		{Key: 4, Aux: 4}, {Key: 3, Aux: 1},
+		{Key: 6, Aux: 3}, {Key: 5, Aux: 0},
+	}
+	if err := Partition(in, data, []int64{2, 2, 2}, 3, 1, 3); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+}
+
+func TestPartitionRejections(t *testing.T) {
+	in := seq(1, 2, 3, 4)
+	ordered := seq(1, 2, 3, 4)
+	broken := seq(1, 3, 2, 4) // segment 1 max=3 > segment 2 min=2
+	if err := Partition(in, broken, []int64{2, 2}, 2, 1, 4); err == nil {
+		t.Error("order violation accepted")
+	}
+	if err := Partition(in, ordered, []int64{2, 2}, 3, 1, 4); err == nil {
+		t.Error("wrong size count accepted")
+	}
+	if err := Partition(in, ordered, []int64{3, 1}, 2, 2, 4); err == nil {
+		t.Error("undersized partition accepted")
+	}
+	if err := Partition(in, ordered, []int64{1, 3}, 2, 0, 2); err == nil {
+		t.Error("oversized partition accepted")
+	}
+	if err := Partition(in, ordered[:3], []int64{2, 2}, 2, 1, 4); err == nil {
+		t.Error("short data accepted")
+	}
+}
+
+func TestOrderedSegmentsZeroSizes(t *testing.T) {
+	data := seq(1, 2, 3, 4)
+	if err := OrderedSegments(data, []int64{2, 0, 2, 0}); err != nil {
+		t.Errorf("zero segments rejected: %v", err)
+	}
+	if err := OrderedSegments(data, []int64{2, 1}); err == nil {
+		t.Error("uncovered tail accepted")
+	}
+}
+
+func TestMultiSelect(t *testing.T) {
+	in := seq(30, 10, 20)
+	if err := MultiSelect(in, []int64{1, 3}, []emio.Elem{in[1], in[0]}); err != nil {
+		t.Errorf("correct multiselect rejected: %v", err)
+	}
+	if err := MultiSelect(in, []int64{1}, []emio.Elem{in[0]}); err == nil {
+		t.Error("wrong element accepted")
+	}
+	if err := MultiSelect(in, []int64{4}, []emio.Elem{in[0]}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if err := MultiSelect(in, []int64{1, 2}, []emio.Elem{in[1]}); err == nil {
+		t.Error("result count mismatch accepted")
+	}
+}
+
+func TestPrecisePartition(t *testing.T) {
+	in := seq(4, 2, 3, 1, 5)
+	good := []emio.Elem{
+		{Key: 2, Aux: 1}, {Key: 1, Aux: 3}, // chunk 1: {1,2}
+		{Key: 4, Aux: 0}, {Key: 3, Aux: 2}, // chunk 2: {3,4}
+		{Key: 5, Aux: 4}, // final short chunk
+	}
+	if err := PrecisePartition(in, good, 2); err != nil {
+		t.Errorf("valid precise partition rejected: %v", err)
+	}
+	bad := append([]emio.Elem(nil), good...)
+	bad[1], bad[2] = bad[2], bad[1] // 4 leaks into chunk 1
+	if err := PrecisePartition(in, bad, 2); err == nil {
+		t.Error("cross-chunk violation accepted")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	if err := Sorted(seq(1, 2, 2, 3)); err != nil {
+		t.Errorf("sorted rejected: %v", err)
+	}
+	if err := Sorted(seq(1, 3, 2)); err == nil {
+		t.Error("unsorted accepted")
+	}
+	dupAux := []emio.Elem{{Key: 2, Aux: 1}, {Key: 2, Aux: 0}}
+	if err := Sorted(dupAux); err == nil {
+		t.Error("Aux tie-break violation accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package workload generates input files for tests, examples and benchmarks.
+// Generators are harness-side: they stage data with emio.BuildFile (uncounted
+// I/O) and callers reset the disk statistics before running the algorithm
+// under measurement.
+//
+// Every generated element carries a unique Aux (its position), making the
+// (Key, Aux) order total — the library-wide convention.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/emio"
+)
+
+// Kind selects an input distribution.
+type Kind int
+
+const (
+	// Uniform draws keys uniformly from a range much larger than n.
+	Uniform Kind = iota
+	// Sorted produces keys 0..n-1 in order: best case for run formation.
+	Sorted
+	// Reverse produces keys n-1..0: maximally descending.
+	Reverse
+	// FewDistinct draws keys from just 8 values: duplicate-heavy.
+	FewDistinct
+	// AllEqual gives every element the same key: the degenerate extreme.
+	AllEqual
+	// OrganPipe rises to a peak then falls: adversarial for naive pivoting.
+	OrganPipe
+	// HardStripes realises a random member of the paper's Π_hard family
+	// (§2.1): element at offset i of every block belongs to stripe S_i, and
+	// all of S_i precedes all of S_{i+1} in key order, while each stripe is
+	// internally shuffled across blocks.
+	HardStripes
+	// ZipfLike draws keys with a heavy-tailed frequency profile: a few keys
+	// dominate, as in skewed real-world data.
+	ZipfLike
+)
+
+var kindNames = map[Kind]string{
+	Uniform:     "uniform",
+	Sorted:      "sorted",
+	Reverse:     "reverse",
+	FewDistinct: "fewdistinct",
+	AllEqual:    "allequal",
+	OrganPipe:   "organpipe",
+	HardStripes: "hardstripes",
+	ZipfLike:    "zipf",
+}
+
+// String returns the distribution name used by CLI flags.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists every distribution, for sweeps.
+func Kinds() []Kind {
+	return []Kind{Uniform, Sorted, Reverse, FewDistinct, AllEqual, OrganPipe, HardStripes, ZipfLike}
+}
+
+// KindByName resolves a distribution name, for CLI flags.
+func KindByName(name string) (Kind, error) {
+	for k, s := range kindNames {
+		if s == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown distribution %q", name)
+}
+
+// Elems generates n elements of the given kind. blockSize is only used by
+// HardStripes (the stripe structure is defined per block).
+func Elems(kind Kind, n, blockSize int, seed uint64) []emio.Elem {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	out := make([]emio.Elem, n)
+	switch kind {
+	case Uniform:
+		for i := range out {
+			out[i] = emio.Elem{Key: rng.Int64N(int64(n)*16 + 1), Aux: int64(i)}
+		}
+	case Sorted:
+		for i := range out {
+			out[i] = emio.Elem{Key: int64(i), Aux: int64(i)}
+		}
+	case Reverse:
+		for i := range out {
+			out[i] = emio.Elem{Key: int64(n - 1 - i), Aux: int64(i)}
+		}
+	case FewDistinct:
+		for i := range out {
+			out[i] = emio.Elem{Key: rng.Int64N(8), Aux: int64(i)}
+		}
+	case AllEqual:
+		for i := range out {
+			out[i] = emio.Elem{Key: 7, Aux: int64(i)}
+		}
+	case OrganPipe:
+		for i := range out {
+			k := int64(i)
+			if i > n/2 {
+				k = int64(n - i)
+			}
+			out[i] = emio.Elem{Key: k, Aux: int64(i)}
+		}
+	case HardStripes:
+		fillHardStripes(out, blockSize, rng)
+	case ZipfLike:
+		for i := range out {
+			// Key frequency ~ 1/(rank+1): invert a uniform draw.
+			u := rng.Float64()
+			k := int64(1)
+			for u < 0.5 && k < 40 {
+				u *= 2
+				k++
+			}
+			out[i] = emio.Elem{Key: k*1000 + rng.Int64N(1000), Aux: int64(i)}
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %d", kind))
+	}
+	return out
+}
+
+// fillHardStripes writes a random permutation from Π_hard: with blocks of B
+// elements, stripe i (0 <= i < B) owns the elements at offset i of every
+// block; stripe keys are disjoint ascending ranges; within a stripe, the
+// assignment of keys to blocks is a uniform random permutation.
+func fillHardStripes(out []emio.Elem, blockSize int, rng *rand.Rand) {
+	n := len(out)
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	blocks := (n + blockSize - 1) / blockSize
+	perm := make([]int64, blocks)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	for off := 0; off < blockSize; off++ {
+		rng.Shuffle(blocks, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		base := int64(off) * int64(blocks) // stripe key range start
+		for j := 0; j < blocks; j++ {
+			pos := j*blockSize + off
+			if pos < n {
+				out[pos] = emio.Elem{Key: base + perm[j], Aux: int64(pos)}
+			}
+		}
+	}
+}
+
+// File generates n elements and stages them as a file on the disk.
+func File(d *emio.Disk, kind Kind, n int, seed uint64) *emio.File {
+	elems := Elems(kind, n, d.BlockSize(), seed)
+	return emio.BuildFile(d, kind.String(), elems)
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/emio"
+)
+
+func TestEveryKindBasics(t *testing.T) {
+	const n = 1000
+	for _, kind := range Kinds() {
+		elems := Elems(kind, n, 8, 42)
+		if len(elems) != n {
+			t.Fatalf("%v: %d elements, want %d", kind, len(elems), n)
+		}
+		seen := make(map[int64]bool, n)
+		for i, e := range elems {
+			if e.Aux != int64(i) {
+				t.Fatalf("%v: Aux at %d is %d, want position", kind, i, e.Aux)
+			}
+			if seen[e.Aux] {
+				t.Fatalf("%v: duplicate Aux %d", kind, e.Aux)
+			}
+			seen[e.Aux] = true
+		}
+	}
+}
+
+func TestSortedAndReverse(t *testing.T) {
+	asc := Elems(Sorted, 100, 8, 1)
+	for i := 1; i < len(asc); i++ {
+		if asc[i].Key <= asc[i-1].Key {
+			t.Fatal("Sorted not ascending")
+		}
+	}
+	desc := Elems(Reverse, 100, 8, 1)
+	for i := 1; i < len(desc); i++ {
+		if desc[i].Key >= desc[i-1].Key {
+			t.Fatal("Reverse not descending")
+		}
+	}
+}
+
+func TestAllEqualAndFewDistinct(t *testing.T) {
+	eq := Elems(AllEqual, 50, 8, 1)
+	for _, e := range eq {
+		if e.Key != eq[0].Key {
+			t.Fatal("AllEqual keys differ")
+		}
+	}
+	few := Elems(FewDistinct, 1000, 8, 1)
+	keys := map[int64]bool{}
+	for _, e := range few {
+		keys[e.Key] = true
+	}
+	if len(keys) > 8 || len(keys) < 2 {
+		t.Fatalf("FewDistinct produced %d distinct keys", len(keys))
+	}
+}
+
+func TestOrganPipeShape(t *testing.T) {
+	s := Elems(OrganPipe, 101, 8, 1)
+	peak := 0
+	for i, e := range s {
+		if e.Key > s[peak].Key {
+			peak = i
+		}
+	}
+	for i := 1; i <= peak; i++ {
+		if s[i].Key < s[i-1].Key {
+			t.Fatal("not rising before peak")
+		}
+	}
+	for i := peak + 1; i < len(s); i++ {
+		if s[i].Key > s[i-1].Key {
+			t.Fatal("not falling after peak")
+		}
+	}
+}
+
+func TestHardStripesStructure(t *testing.T) {
+	// In a Π_hard permutation with blocks of size B, every element at block
+	// offset i must be smaller than every element at offset j > i, and keys
+	// must be a permutation of 0..n-1.
+	const n, bs = 1024, 8
+	s := Elems(HardStripes, n, bs, 7)
+	var stripeMax [bs]int64
+	var stripeMin [bs]int64
+	for i := range stripeMin {
+		stripeMin[i] = 1 << 62
+		stripeMax[i] = -1
+	}
+	seen := make(map[int64]bool, n)
+	for pos, e := range s {
+		off := pos % bs
+		if e.Key > stripeMax[off] {
+			stripeMax[off] = e.Key
+		}
+		if e.Key < stripeMin[off] {
+			stripeMin[off] = e.Key
+		}
+		if seen[e.Key] {
+			t.Fatalf("duplicate key %d", e.Key)
+		}
+		seen[e.Key] = true
+	}
+	for off := 1; off < bs; off++ {
+		if stripeMin[off] <= stripeMax[off-1] {
+			t.Fatalf("stripe %d min %d <= stripe %d max %d",
+				off, stripeMin[off], off-1, stripeMax[off-1])
+		}
+	}
+	for k := int64(0); k < n; k++ {
+		if !seen[k] {
+			t.Fatalf("key %d missing: not a permutation of 0..n-1", k)
+		}
+	}
+}
+
+func TestHardStripesPartialLastBlock(t *testing.T) {
+	s := Elems(HardStripes, 1000, 8, 3) // 1000 % 8 != 0
+	if len(s) != 1000 {
+		t.Fatalf("%d elements", len(s))
+	}
+	for i, e := range s {
+		if e.Aux != int64(i) {
+			t.Fatalf("Aux mismatch at %d", i)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := Elems(ZipfLike, 10000, 8, 5)
+	counts := map[int64]int{}
+	for _, e := range s {
+		counts[e.Key/1000]++ // bucket by frequency tier
+	}
+	if counts[1] < counts[5] {
+		t.Errorf("tier 1 (%d) not more frequent than tier 5 (%d)", counts[1], counts[5])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Elems(Uniform, 500, 8, 99)
+	b := Elems(Uniform, 500, 8, 99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different data")
+		}
+	}
+	c := Elems(Uniform, 500, 8, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds, same data")
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("round-trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := KindByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestFileStaging(t *testing.T) {
+	d := emio.NewDisk(8)
+	f := File(d, Uniform, 100, 1)
+	if f.Len() != 100 {
+		t.Fatalf("file holds %d", f.Len())
+	}
+	if d.Stats().Total() != 0 {
+		t.Fatalf("staging charged %v I/Os", d.Stats())
+	}
+}

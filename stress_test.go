@@ -1,0 +1,135 @@
+package empart
+
+import (
+	"testing"
+
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// Stress tests run every algorithm at 1M+ elements across adversarial
+// workloads with full output verification. They are skipped under -short.
+
+func stressSys(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Config{M: 1 << 13, B: 1 << 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestStressSortAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 1 << 20
+	for _, kind := range workload.Kinds() {
+		sys := stressSys(t)
+		elems := workload.Elems(kind, n, sys.Config().B, 0x57e55)
+		f := sys.Stage(elems)
+		out, err := sys.Sort(f)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		got := sys.Read(out)
+		if err := verify.Sorted(got); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if err := verify.SameMultiset(got, elems); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if sys.PeakMemory() > int64(sys.Config().M) {
+			t.Fatalf("%v: peak memory %d over budget", kind, sys.PeakMemory())
+		}
+	}
+}
+
+func TestStressSplittersLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 1 << 20
+	for _, p := range []Params{
+		{K: 1024, A: 32, B: int64(n)},      // right-grounded, sublinear regime
+		{K: 64, A: 0, B: int64(n) / 32},    // left-grounded
+		{K: 256, A: 512, B: int64(n) / 16}, // two-sided narrow
+		{K: 4096, A: 256, B: 256},          // exact quantile at large K
+	} {
+		sys := stressSys(t)
+		elems := workload.Elems(workload.HardStripes, n, sys.Config().B, 0x57e56)
+		f := sys.Stage(elems)
+		out, err := sys.Splitters(f, p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if _, err := verify.Splitters(elems, sys.Read(out), p.K, p.A, p.B); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if sys.PeakMemory() > int64(sys.Config().M) {
+			t.Fatalf("%+v: peak memory %d over budget", p, sys.PeakMemory())
+		}
+	}
+}
+
+func TestStressPartitionLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 1 << 20
+	for _, p := range []Params{
+		{K: 512, A: 64, B: int64(n)},
+		{K: 128, A: 0, B: int64(n) / 64},
+		{K: 256, A: 1024, B: int64(n) / 32},
+	} {
+		sys := stressSys(t)
+		elems := workload.Elems(workload.FewDistinct, n, sys.Config().B, 0x57e57)
+		f := sys.Stage(elems)
+		res, err := sys.Partition(f, p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if err := verify.Partition(elems, sys.Read(res.Data), res.Sizes, p.K, p.A, p.B); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+	}
+}
+
+func TestStressMultiSelectLargeK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 1 << 20
+	sys := stressSys(t)
+	elems := workload.Elems(workload.Uniform, n, sys.Config().B, 0x57e58)
+	f := sys.Stage(elems)
+	k := 2048
+	ranks := make([]int64, k)
+	for i := range ranks {
+		ranks[i] = int64(i+1) * int64(n) / int64(k)
+	}
+	out, err := sys.MultiSelect(f, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.MultiSelect(elems, ranks, sys.Read(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressPrecisePartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	n := 1 << 19
+	sys := stressSys(t)
+	elems := workload.Elems(workload.OrganPipe, n, sys.Config().B, 0x57e59)
+	f := sys.Stage(elems)
+	out, err := sys.PrecisePartition(f, int64(n)/128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.PrecisePartition(elems, sys.Read(out), int64(n)/128); err != nil {
+		t.Fatal(err)
+	}
+}
