@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench table1 examples clean
+.PHONY: all build vet test test-short race check bench table1 examples clean
 
 all: build vet test
+
+# The default verification path: compile, vet, full tests.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -17,6 +20,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The short suite under the race detector. The EM model is sequential, so
+# this guards the harness plumbing (tracer, disk registry, CLI paths).
+race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	embench [-n 262144] [-m 4096] [-b 32] [-quick]
+//	embench [-n 262144] [-m 4096] [-b 32] [-quick] [-json] [-trace]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,16 +30,19 @@ var (
 	flagB     = flag.Int("b", 1<<5, "block size B in elements")
 	flagQuick = flag.Bool("quick", false, "smaller N for a fast smoke run")
 	flagDist  = flag.String("dist", "uniform", "input distribution (see internal/workload)")
+	flagJSON  = flag.Bool("json", false, "emit one JSON array of measurement rows instead of markdown")
+	flagTrace = flag.Bool("trace", false, "print a per-run phase trace (span tree) to stderr")
 )
 
 type row struct {
-	label   string
-	io      int64
-	scans   float64
-	ub      float64
-	lb      float64
-	ratioUB float64
-	ratioLB float64
+	Section string  `json:"section,omitempty"`
+	Label   string  `json:"label"`
+	IOs     int64   `json:"ios"`
+	Scans   float64 `json:"scans"`
+	UB      float64 `json:"ub,omitempty"`
+	LB      float64 `json:"lb,omitempty"`
+	RatioUB float64 `json:"ratioUB,omitempty"`
+	RatioLB float64 `json:"ratioLB,omitempty"`
 }
 
 func main() {
@@ -60,10 +64,14 @@ func main() {
 	mc := empart.Machine{M: int64(*flagM), B: int64(*flagB)}
 	scan := float64(n) / float64(*flagB)
 
-	fmt.Printf("# Table 1 reproduction — N=%d, M=%d, B=%d, dist=%s\n\n", n, *flagM, *flagB, kind)
-	fmt.Printf("One scan = %.0f I/Os. `ratioUB` is measured/upper-bound-formula (the fitted\n", scan)
-	fmt.Printf("constant; flat across a sweep = the formula captures the shape). `ratioLB` is\n")
-	fmt.Printf("measured/lower-bound-floor (must stay >= 1; O(1) = the algorithm is optimal).\n\n")
+	if !*flagJSON {
+		fmt.Printf("# Table 1 reproduction — N=%d, M=%d, B=%d, dist=%s\n\n", n, *flagM, *flagB, kind)
+		fmt.Printf("One scan = %.0f I/Os. `ratioUB` is measured/upper-bound-formula (the fitted\n", scan)
+		fmt.Printf("constant; flat across a sweep = the formula captures the shape). `ratioLB` is\n")
+		fmt.Printf("measured/lower-bound-floor (must stay >= 1; O(1) = the algorithm is optimal).\n\n")
+	}
+
+	var jsonRows []row
 
 	measure := func(label string, ub, lb float64, run func(sys *empart.System, f *empart.File) error) row {
 		sys, err := empart.New(cfg)
@@ -72,26 +80,39 @@ func main() {
 		}
 		f := sys.Stage(workload.Elems(kind, int(n), *flagB, 0xeb1e55))
 		sys.ResetStats()
+		if *flagTrace {
+			sys.EnableTracing()
+		}
 		if err := run(sys, f); err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
+		if *flagTrace {
+			fmt.Fprintf(os.Stderr, "--- trace %s ---\n%s", label, sys.TraceReport())
+		}
 		io := sys.Stats().Total()
-		r := row{label: label, io: io, scans: float64(io) / scan, ub: ub, lb: lb}
+		r := row{Label: label, IOs: io, Scans: float64(io) / scan, UB: ub, LB: lb}
 		if ub > 0 {
-			r.ratioUB = float64(io) / ub
+			r.RatioUB = float64(io) / ub
 		}
 		if lb > 0 {
-			r.ratioLB = float64(io) / lb
+			r.RatioLB = float64(io) / lb
 		}
 		return r
 	}
 	printTable := func(title, paramCol string, rows []row) {
+		for _, r := range rows {
+			r.Section = title
+			jsonRows = append(jsonRows, r)
+		}
+		if *flagJSON {
+			return
+		}
 		fmt.Printf("## %s\n\n", title)
 		fmt.Printf("| %s | I/Os | scans | UB formula | ratioUB | LB floor | ratioLB |\n", paramCol)
 		fmt.Printf("|---|---|---|---|---|---|---|\n")
 		for _, r := range rows {
 			fmt.Printf("| %s | %d | %.3f | %.0f | %.2f | %.0f | %.2f |\n",
-				r.label, r.io, r.scans, r.ub, r.ratioUB, r.lb, r.ratioLB)
+				r.Label, r.IOs, r.Scans, r.UB, r.RatioUB, r.LB, r.RatioLB)
 		}
 		fmt.Println()
 	}
@@ -250,9 +271,11 @@ func main() {
 
 	// --- THM4-SEP ----------------------------------------------------------
 	{
-		fmt.Printf("## THM4-SEP: multi-selection vs multi-partition (equi-spaced, Theorem 4)\n\n")
-		fmt.Printf("| K | msel I/Os | msel formula | mpart I/Os | mpart formula | mpart/msel measured | predicted |\n")
-		fmt.Printf("|---|---|---|---|---|---|---|\n")
+		if !*flagJSON {
+			fmt.Printf("## THM4-SEP: multi-selection vs multi-partition (equi-spaced, Theorem 4)\n\n")
+			fmt.Printf("| K | msel I/Os | msel formula | mpart I/Os | mpart formula | mpart/msel measured | predicted |\n")
+			fmt.Printf("|---|---|---|---|---|---|---|\n")
+		}
 		for _, k := range []int64{4, 32, 256, 2048, n / int64(*flagB)} {
 			ranks := make([]int64, k-1)
 			sizes := make([]int64, k)
@@ -265,7 +288,7 @@ func main() {
 				sizes[i] = cum - prev
 				prev = cum
 			}
-			ms := measure("", mc.MultiSelect(n, k), 0, func(sys *empart.System, f *empart.File) error {
+			ms := measure(fmt.Sprintf("msel K=%d", k), mc.MultiSelect(n, k), 0, func(sys *empart.System, f *empart.File) error {
 				out, err := sys.MultiSelect(f, ranks)
 				if err != nil {
 					return err
@@ -273,7 +296,7 @@ func main() {
 				out.Release()
 				return nil
 			})
-			mp := measure("", mc.MultiPartition(n, k), 0, func(sys *empart.System, f *empart.File) error {
+			mp := measure(fmt.Sprintf("mpart K=%d", k), mc.MultiPartition(n, k), 0, func(sys *empart.System, f *empart.File) error {
 				out, err := sys.MultiPartition(f, sizes)
 				if err != nil {
 					return err
@@ -281,11 +304,17 @@ func main() {
 				out.Release()
 				return nil
 			})
-			fmt.Printf("| %d | %d | %.0f | %d | %.0f | %.2f | %.2f |\n",
-				k, ms.io, ms.ub, mp.io, mp.ub,
-				float64(mp.io)/float64(ms.io), mp.ub/ms.ub)
+			ms.Section, mp.Section = "THM4-SEP", "THM4-SEP"
+			jsonRows = append(jsonRows, ms, mp)
+			if !*flagJSON {
+				fmt.Printf("| %d | %d | %.0f | %d | %.0f | %.2f | %.2f |\n",
+					k, ms.IOs, ms.UB, mp.IOs, mp.UB,
+					float64(mp.IOs)/float64(ms.IOs), mp.UB/ms.UB)
+			}
 		}
-		fmt.Println()
+		if !*flagJSON {
+			fmt.Println()
+		}
 	}
 
 	// --- SORT-BASE ----------------------------------------------------------
@@ -299,18 +328,24 @@ func main() {
 				}
 				f := sys.Stage(workload.Elems(kind, int(nn), *flagB, 0xeb1e55))
 				sys.ResetStats()
+				if *flagTrace {
+					sys.EnableTracing()
+				}
 				out, err := sys.Sort(f)
 				if err != nil {
 					log.Fatal(err)
 				}
 				out.Release()
+				if *flagTrace {
+					fmt.Fprintf(os.Stderr, "--- trace sort N=%d ---\n%s", nn, sys.TraceReport())
+				}
 				io := sys.Stats().Total()
 				return row{
-					label: fmt.Sprintf("N=%d", nn), io: io,
-					scans: float64(io) / (float64(nn) / float64(*flagB)),
-					ub:    mc.Sort(nn), lb: mc.SortFloor(nn),
-					ratioUB: float64(io) / mc.Sort(nn),
-					ratioLB: float64(io) / mc.SortFloor(nn),
+					Label: fmt.Sprintf("N=%d", nn), IOs: io,
+					Scans: float64(io) / (float64(nn) / float64(*flagB)),
+					UB:    mc.Sort(nn), LB: mc.SortFloor(nn),
+					RatioUB: float64(io) / mc.Sort(nn),
+					RatioLB: float64(io) / mc.SortFloor(nn),
 				}
 			}())
 		}
@@ -319,8 +354,10 @@ func main() {
 
 	// --- INTERMIX -----------------------------------------------------------
 	{
-		fmt.Printf("## INTERMIX: L-intermixed selection is linear (Lemma 6)\n\n")
-		fmt.Printf("| L | I/Os | scans |\n|---|---|---|\n")
+		if !*flagJSON {
+			fmt.Printf("## INTERMIX: L-intermixed selection is linear (Lemma 6)\n\n")
+			fmt.Printf("| L | I/Os | scans |\n|---|---|---|\n")
+		}
 		maxL := intermix.MaxGroups(emio.Config{M: *flagM, B: *flagB})
 		for _, l := range []int{1, 2, 4, maxL} {
 			if l < 1 {
@@ -340,15 +377,27 @@ func main() {
 				targets[i] = n / int64(l) / 2
 			}
 			ctx.Disk().ResetStats()
+			if *flagTrace {
+				ctx.SetTracer(emio.NewTracer())
+			}
 			res, err := intermix.Select(ctx, d, l, targets)
 			if err != nil {
 				log.Fatal(err)
 			}
 			ctx.FreeElems(res)
+			if *flagTrace {
+				fmt.Fprintf(os.Stderr, "--- trace intermix L=%d ---\n%s", l, ctx.Tracer().Render())
+			}
 			io := ctx.Disk().Stats().Total()
-			fmt.Printf("| %d | %d | %.2f |\n", l, io, float64(io)/scan)
+			jsonRows = append(jsonRows, row{Section: "INTERMIX", Label: fmt.Sprintf("L=%d", l),
+				IOs: io, Scans: float64(io) / scan})
+			if !*flagJSON {
+				fmt.Printf("| %d | %d | %.2f |\n", l, io, float64(io)/scan)
+			}
 		}
-		fmt.Println()
+		if !*flagJSON {
+			fmt.Println()
+		}
 	}
 
 	// --- RED-3 ---------------------------------------------------------------
@@ -371,12 +420,14 @@ func main() {
 
 	// --- MACHINE-SWEEP --------------------------------------------------------
 	{
-		fmt.Printf("## MACHINE-SWEEP: the lg_{M/B} base across machine shapes\n\n")
-		fmt.Printf("Fixed N and problem; varying M/B changes the base of every lg in\n")
-		fmt.Printf("Table 1. Sorting passes and left-grounded partitioning costs move\n")
-		fmt.Printf("together, as the shared lg_{M/B} factor predicts.\n\n")
-		fmt.Printf("| machine | M/B | sort I/Os | sort scans | L-PAR(b=N/64) I/Os | L-PAR scans |\n")
-		fmt.Printf("|---|---|---|---|---|---|\n")
+		if !*flagJSON {
+			fmt.Printf("## MACHINE-SWEEP: the lg_{M/B} base across machine shapes\n\n")
+			fmt.Printf("Fixed N and problem; varying M/B changes the base of every lg in\n")
+			fmt.Printf("Table 1. Sorting passes and left-grounded partitioning costs move\n")
+			fmt.Printf("together, as the shared lg_{M/B} factor predicts.\n\n")
+			fmt.Printf("| machine | M/B | sort I/Os | sort scans | L-PAR(b=N/64) I/Os | L-PAR scans |\n")
+			fmt.Printf("|---|---|---|---|---|---|\n")
+		}
 		for _, shape := range []empart.Config{
 			{M: 1 << 10, B: 1 << 7}, // M/B = 8
 			{M: 1 << 12, B: 1 << 7}, // M/B = 32
@@ -412,14 +463,23 @@ func main() {
 				return nil
 			})
 			shapeScan := float64(n) / float64(shape.B)
-			fmt.Printf("| %v | %d | %d | %.2f | %d | %.2f |\n",
-				shape, shape.M/shape.B, sortIO, float64(sortIO)/shapeScan, parIO, float64(parIO)/shapeScan)
+			jsonRows = append(jsonRows,
+				row{Section: "MACHINE-SWEEP", Label: fmt.Sprintf("sort %v", shape),
+					IOs: sortIO, Scans: float64(sortIO) / shapeScan},
+				row{Section: "MACHINE-SWEEP", Label: fmt.Sprintf("L-PAR %v", shape),
+					IOs: parIO, Scans: float64(parIO) / shapeScan})
+			if !*flagJSON {
+				fmt.Printf("| %v | %d | %d | %.2f | %d | %.2f |\n",
+					shape, shape.M/shape.B, sortIO, float64(sortIO)/shapeScan, parIO, float64(parIO)/shapeScan)
+			}
 		}
-		fmt.Println()
+		if !*flagJSON {
+			fmt.Println()
+		}
 	}
 
-	// --- IM-PARITY -----------------------------------------------------------
-	{
+	// --- IM-PARITY (markdown only: comparison counts, not block I/Os) --------
+	if !*flagJSON {
 		fmt.Printf("## IM-PARITY: internal-memory comparison counts (the §1.3 remark)\n\n")
 		fmt.Printf("In internal memory, multi-selection and multi-partition both take\n")
 		fmt.Printf("Θ(N lg K) comparisons — the separation exists only in the EM model.\n\n")
@@ -455,5 +515,12 @@ func main() {
 		fmt.Println()
 	}
 
+	if *flagJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonRows); err != nil {
+			log.Fatal(err)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "embench: done")
 }

@@ -30,6 +30,7 @@ var (
 	flagIn      = flag.String("in", "", "input file of integers (default stdin)")
 	flagOut     = flag.String("out", "", "output file (default stdout)")
 	flagBacking = flag.String("backing", "", "path for a real backing file for the simulated disk (default: in-memory)")
+	flagTrace   = flag.Bool("trace", false, "print a phase trace (span tree with I/O attribution) to the report stream")
 )
 
 func main() {
@@ -55,15 +56,15 @@ func main() {
 		defer g.Close()
 		dst = g
 	}
-	if err := run(empart.Config{M: *flagM, B: *flagB}, *flagBacking, in, dst, os.Stderr); err != nil {
+	if err := run(empart.Config{M: *flagM, B: *flagB}, *flagBacking, *flagTrace, in, dst, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run reads integers from in, sorts them on an EM machine of the given
 // configuration (optionally file-backed at backing), writes the sorted keys
-// to dst and an I/O report to report.
-func run(cfg empart.Config, backing string, in io.Reader, dst, report io.Writer) error {
+// to dst and an I/O report (plus a phase trace when trace is set) to report.
+func run(cfg empart.Config, backing string, trace bool, in io.Reader, dst, report io.Writer) error {
 	elems, err := parseKeys(in)
 	if err != nil {
 		return err
@@ -80,6 +81,9 @@ func run(cfg empart.Config, backing string, in io.Reader, dst, report io.Writer)
 	defer sys.Close()
 	f := sys.Stage(elems)
 	sys.ResetStats()
+	if trace {
+		sys.EnableTracing()
+	}
 	out, err := sys.Sort(f)
 	if err != nil {
 		return err
@@ -100,6 +104,9 @@ func run(cfg empart.Config, backing string, in io.Reader, dst, report io.Writer)
 	mc := sys.Machine()
 	fmt.Fprintf(report, "emsort: N=%d M=%d B=%d  cost %v  bound %.0f  floor %.0f\n",
 		n, cfg.M, cfg.B, st, mc.Sort(n), mc.SortFloor(n))
+	if trace {
+		fmt.Fprintf(report, "phase trace:\n%s", sys.TraceReport())
+	}
 	return nil
 }
 

@@ -12,7 +12,7 @@ import (
 func TestRunSortsStream(t *testing.T) {
 	in := strings.NewReader("5 3 9 1 -4 3")
 	var out, report bytes.Buffer
-	if err := run(empart.Config{M: 64, B: 8}, "", in, &out, &report); err != nil {
+	if err := run(empart.Config{M: 64, B: 8}, "", true, in, &out, &report); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := out.String(), "-4\n1\n3\n3\n5\n9\n"; got != want {
@@ -21,13 +21,16 @@ func TestRunSortsStream(t *testing.T) {
 	if !strings.Contains(report.String(), "N=6") {
 		t.Errorf("report %q missing N", report.String())
 	}
+	if !strings.Contains(report.String(), "extsort/sort") {
+		t.Errorf("report %q missing phase trace", report.String())
+	}
 }
 
 func TestRunFileBacked(t *testing.T) {
 	in := strings.NewReader("2 1")
 	var out, report bytes.Buffer
 	backing := filepath.Join(t.TempDir(), "d.dat")
-	if err := run(empart.Config{M: 64, B: 8}, backing, in, &out, &report); err != nil {
+	if err := run(empart.Config{M: 64, B: 8}, backing, false, in, &out, &report); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != "1\n2\n" {
@@ -37,13 +40,13 @@ func TestRunFileBacked(t *testing.T) {
 
 func TestRunRejectsBadInput(t *testing.T) {
 	var out, report bytes.Buffer
-	if err := run(empart.Config{M: 64, B: 8}, "", strings.NewReader("12 potato"), &out, &report); err == nil {
+	if err := run(empart.Config{M: 64, B: 8}, "", false, strings.NewReader("12 potato"), &out, &report); err == nil {
 		t.Error("non-numeric input accepted")
 	}
-	if err := run(empart.Config{M: 64, B: 8}, "", strings.NewReader("   "), &out, &report); err == nil {
+	if err := run(empart.Config{M: 64, B: 8}, "", false, strings.NewReader("   "), &out, &report); err == nil {
 		t.Error("empty input accepted")
 	}
-	if err := run(empart.Config{M: 1, B: 8}, "", strings.NewReader("1"), &out, &report); err == nil {
+	if err := run(empart.Config{M: 1, B: 8}, "", false, strings.NewReader("1"), &out, &report); err == nil {
 		t.Error("bad config accepted")
 	}
 }

@@ -34,8 +34,9 @@ var (
 	flagBMax = flag.Int64("bmax", 0, "upper size bound b (0 means N)")
 	flagDist = flag.String("dist", "uniform", "input distribution")
 	flagSeed = flag.Uint64("seed", 1, "workload seed")
-	flagLo   = flag.Float64("lo", 0, "histogram: relative slack below N/K")
-	flagHi   = flag.Float64("hi", 0, "histogram: relative slack above N/K")
+	flagLo    = flag.Float64("lo", 0, "histogram: relative slack below N/K")
+	flagHi    = flag.Float64("hi", 0, "histogram: relative slack above N/K")
+	flagTrace = flag.Bool("trace", false, "append a phase trace (span tree with I/O and memory attribution) to the report")
 )
 
 // options carries one emsplit invocation.
@@ -48,6 +49,7 @@ type options struct {
 	dist   string
 	seed   uint64
 	lo, hi float64
+	trace  bool
 }
 
 func main() {
@@ -58,6 +60,7 @@ func main() {
 		algo: *flagAlgo, n: *flagN, m: *flagM, b: *flagB,
 		k: *flagK, a: *flagA, bmax: *flagBMax,
 		dist: *flagDist, seed: *flagSeed, lo: *flagLo, hi: *flagHi,
+		trace: *flagTrace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -88,6 +91,9 @@ func execute(o options) (string, error) {
 	p := empart.Params{K: o.k, A: o.a, B: bmax}
 
 	sys.ResetStats()
+	if o.trace {
+		sys.EnableTracing()
+	}
 	var bound float64
 	switch o.algo {
 	case "splitters":
@@ -181,6 +187,9 @@ func execute(o options) (string, error) {
 		fmt.Fprintf(&sb, "paper bound: %.0f I/Os -> fitted constant %.2f\n", bound, float64(st.Total())/bound)
 	}
 	fmt.Fprintf(&sb, "peak memory: %d of M=%d elements\n", sys.PeakMemory(), o.m)
+	if o.trace {
+		fmt.Fprintf(&sb, "\nphase trace:\n%s", sys.TraceReport())
+	}
 	return sb.String(), nil
 }
 

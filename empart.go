@@ -67,6 +67,11 @@ type (
 	Machine = bounds.Machine
 	// HistogramBucket is one bucket of an equi-depth histogram.
 	HistogramBucket = histogram.Bucket
+	// Tracer collects a tree of phase spans with per-span I/O, memory-peak
+	// and disk-footprint attribution. Attach one with System.SetTracer.
+	Tracer = emio.Tracer
+	// Span is one node of the trace tree: a named phase with counters.
+	Span = emio.Span
 )
 
 // Re-exported variant constants.
@@ -146,6 +151,57 @@ func (s *System) PeakDiskBlocks() int64 { return s.ctx.Disk().PeakLiveBlocks() }
 
 // ResetPeakDisk lowers the disk-footprint high-water mark to current usage.
 func (s *System) ResetPeakDisk() { s.ctx.Disk().ResetPeakLive() }
+
+// NewTracer creates a standalone phase tracer, for sharing one tracer across
+// several Systems or inspecting spans programmatically.
+func NewTracer() *Tracer { return emio.NewTracer() }
+
+// SetTracer attaches (or, with nil, detaches) a phase tracer. While a tracer
+// is attached, every algorithm call records a tree of phase spans with
+// per-span block-I/O deltas, scoped memory and disk-footprint peaks, and
+// scratch-file accounting. With no tracer attached the instrumentation is a
+// nil-pointer fast path: no I/O, memory or randomness behavior changes.
+func (s *System) SetTracer(t *Tracer) { s.ctx.SetTracer(t) }
+
+// Tracer returns the attached tracer, or nil.
+func (s *System) Tracer() *Tracer { return s.ctx.Tracer() }
+
+// EnableTracing attaches a fresh tracer and returns it: shorthand for
+// t := NewTracer(); s.SetTracer(t).
+func (s *System) EnableTracing() *Tracer {
+	t := emio.NewTracer()
+	s.ctx.SetTracer(t)
+	return t
+}
+
+// TraceReport renders the attached tracer's span tree as an indented
+// human-readable table (one row per phase: I/Os, reads, writes, peak memory,
+// peak disk blocks, scratch files). Empty when no tracer is attached.
+func (s *System) TraceReport() string {
+	t := s.ctx.Tracer()
+	if t == nil {
+		return ""
+	}
+	return t.Render()
+}
+
+// TraceJSON exports the attached tracer's span tree as JSON. Returns nil
+// when no tracer is attached.
+func (s *System) TraceJSON() ([]byte, error) {
+	t := s.ctx.Tracer()
+	if t == nil {
+		return nil, nil
+	}
+	return t.JSON()
+}
+
+// LiveFiles returns the names of all files currently live on the simulated
+// disk (staged inputs and scratch files alike), sorted.
+func (s *System) LiveFiles() []string { return s.ctx.Disk().LiveFiles() }
+
+// LiveScratchFiles returns the names of live algorithm-created scratch files,
+// sorted: nonempty after all outputs are released indicates a leak.
+func (s *System) LiveScratchFiles() []string { return s.ctx.Disk().LiveScratchFiles() }
 
 // Stage loads elements onto the disk as a new file without charging I/Os:
 // the harness-side input channel. Algorithms producing files charge normally.

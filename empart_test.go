@@ -3,6 +3,7 @@ package empart
 import (
 	"testing"
 
+	"repro/internal/emio"
 	"repro/internal/verify"
 	"repro/internal/workload"
 )
@@ -20,6 +21,19 @@ func stageUniform(t *testing.T, sys *System, n int, seed uint64) ([]Elem, *File)
 	t.Helper()
 	elems := workload.Elems(workload.Uniform, n, sys.Config().B, seed)
 	return elems, sys.Stage(elems)
+}
+
+// checkNoLeaks releases the given algorithm outputs and then asserts that no
+// scratch file is still live on sys's disk: every file an algorithm created
+// internally must have been released by the time it returned.
+func checkNoLeaks(t *testing.T, sys *System, outs ...*File) {
+	t.Helper()
+	for _, f := range outs {
+		if f != nil && !f.Released() {
+			f.Release()
+		}
+	}
+	emio.RequireNoLeaks(t, sys.Ctx())
 }
 
 func TestNewRejectsBadConfig(t *testing.T) {
@@ -42,6 +56,7 @@ func TestSortFacade(t *testing.T) {
 	if err := verify.SameMultiset(got, in); err != nil {
 		t.Fatal(err)
 	}
+	checkNoLeaks(t, sys, out)
 }
 
 func TestSelectFacade(t *testing.T) {
@@ -67,6 +82,7 @@ func TestMultiSelectFacade(t *testing.T) {
 	if err := verify.MultiSelect(in, ranks, sys.Read(out)); err != nil {
 		t.Fatal(err)
 	}
+	checkNoLeaks(t, sys, out)
 }
 
 func TestMultiPartitionFacade(t *testing.T) {
@@ -84,6 +100,7 @@ func TestMultiPartitionFacade(t *testing.T) {
 	if err := verify.OrderedSegments(got, sizes); err != nil {
 		t.Fatal(err)
 	}
+	checkNoLeaks(t, sys, out)
 }
 
 func TestSplittersFacadeAllVariants(t *testing.T) {
@@ -101,6 +118,7 @@ func TestSplittersFacadeAllVariants(t *testing.T) {
 		if _, err := verify.Splitters(in, sys.Read(out), p.K, p.A, p.B); err != nil {
 			t.Fatalf("%+v: %v", p, err)
 		}
+		checkNoLeaks(t, sys, out)
 	}
 }
 
@@ -119,6 +137,7 @@ func TestPartitionFacadeAllVariants(t *testing.T) {
 		if err := verify.Partition(in, sys.Read(res.Data), res.Sizes, p.K, p.A, p.B); err != nil {
 			t.Fatalf("%+v: %v", p, err)
 		}
+		checkNoLeaks(t, sys, res.Data)
 	}
 }
 
@@ -132,6 +151,7 @@ func TestPrecisePartitionFacade(t *testing.T) {
 	if err := verify.PrecisePartition(in, sys.Read(out), 500); err != nil {
 		t.Fatal(err)
 	}
+	checkNoLeaks(t, sys, out)
 }
 
 func TestHistogramFacade(t *testing.T) {
@@ -148,6 +168,7 @@ func TestHistogramFacade(t *testing.T) {
 	if total != 4096 {
 		t.Fatalf("histogram depths sum to %d", total)
 	}
+	checkNoLeaks(t, sys)
 }
 
 func TestStatsAndPeakMemoryAccounting(t *testing.T) {
@@ -250,4 +271,5 @@ func TestDistributionSortFacade(t *testing.T) {
 	if err := verify.SameMultiset(got, in); err != nil {
 		t.Fatal(err)
 	}
+	checkNoLeaks(t, sys, out)
 }

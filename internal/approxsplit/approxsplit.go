@@ -94,8 +94,12 @@ func Splitters(ctx *emio.Ctx, f *emio.File, g int) (*Result, error) {
 	if n <= int64(ctx.M()/3) {
 		return exactInMemory(ctx, f, g)
 	}
+	sp := ctx.StartSpan("approxsplit/splitters", emio.AttrInt("n", n), emio.AttrInt("g", int64(g)))
+	defer sp.End()
 	for attempt := 0; attempt < maxRetries; attempt++ {
+		asp := ctx.StartSpan("approxsplit/attempt", emio.AttrInt("attempt", int64(attempt)))
 		res, ok, err := attemptSample(ctx, f, g)
+		asp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +161,9 @@ func exactInMemory(ctx *emio.Ctx, f *emio.File, g int) (*Result, error) {
 func attemptSample(ctx *emio.Ctx, f *emio.File, g int) (*Result, bool, error) {
 	n := f.Len()
 	target := int64(Oversample) * int64(g)
+	ssp := ctx.StartSpan("approxsplit/sample", emio.AttrInt("target", target))
 	sample, err := bernoulliSample(ctx, f, target)
+	ssp.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -165,7 +171,9 @@ func attemptSample(ctx *emio.Ctx, f *emio.File, g int) (*Result, bool, error) {
 		sample.Release() // absurdly unlucky sample; retry
 		return nil, false, nil
 	}
+	osp := ctx.StartSpan("approxsplit/sort-sample", emio.AttrInt("s", sample.Len()))
 	sorted, err := sortedSample(ctx, sample)
+	osp.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -174,7 +182,9 @@ func attemptSample(ctx *emio.Ctx, f *emio.File, g int) (*Result, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	vsp := ctx.StartSpan("approxsplit/verify")
 	sizes, err := countBuckets(ctx, f, sp)
+	vsp.End()
 	if err != nil {
 		ctx.FreeElems(sp)
 		return nil, false, err
@@ -207,6 +217,8 @@ func SplittersExact(ctx *emio.Ctx, f *emio.File, g int) (*Result, error) {
 	if g == 1 {
 		return singleBucket(ctx, n)
 	}
+	esp := ctx.StartSpan("approxsplit/exact", emio.AttrInt("n", n), emio.AttrInt("g", int64(g)))
+	defer esp.End()
 	sorted, err := extsort.Sort(ctx, f)
 	if err != nil {
 		return nil, err

@@ -34,6 +34,10 @@ func Partition(ctx *emio.Ctx, f *emio.File, p Params) (*PartitionResult, error) 
 	if err := p.Validate(n); err != nil {
 		return nil, err
 	}
+	sp := ctx.StartSpan("core/partition",
+		emio.AttrInt("n", n), emio.AttrInt("k", p.K), emio.AttrInt("a", p.A), emio.AttrInt("b", p.B),
+		emio.AttrStr("variant", p.Variant(n).String()))
+	defer sp.End()
 	switch p.Variant(n) {
 	case RightGrounded:
 		return partitionRight(ctx, f, p)

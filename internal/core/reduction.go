@@ -24,6 +24,8 @@ func PrecisePartitionViaApprox(ctx *emio.Ctx, f *emio.File, b int64) (*emio.File
 	if b < 1 {
 		return nil, fmt.Errorf("%w: b=%d", ErrBadParams, b)
 	}
+	sp := ctx.StartSpan("core/precise-partition", emio.AttrInt("n", n), emio.AttrInt("b", b))
+	defer sp.End()
 	if b > n {
 		b = n
 	}
@@ -42,6 +44,8 @@ func PrecisePartitionViaApprox(ctx *emio.Ctx, f *emio.File, b int64) (*emio.File
 	// After appending P_i to R, |R| <= 2b; if |R| > b, the b smallest
 	// elements of R become the next precise partition and the rest carries
 	// over. Each step costs O(b/B), so the whole pass is O(N/B).
+	rsp := ctx.StartSpan("core/rechunk", emio.AttrInt("k", k))
+	defer rsp.End()
 	out := ctx.Scratch("precise")
 	w, err := emio.NewWriter(ctx, out)
 	if err != nil {

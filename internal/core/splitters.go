@@ -25,6 +25,10 @@ func Splitters(ctx *emio.Ctx, f *emio.File, p Params) (*emio.File, error) {
 	if err := p.Validate(n); err != nil {
 		return nil, err
 	}
+	sp := ctx.StartSpan("core/splitters",
+		emio.AttrInt("n", n), emio.AttrInt("k", p.K), emio.AttrInt("a", p.A), emio.AttrInt("b", p.B),
+		emio.AttrStr("variant", p.Variant(n).String()))
+	defer sp.End()
 	if p.K == 1 {
 		return ctx.Scratch("splitters"), nil // zero splitters
 	}
@@ -98,6 +102,8 @@ func splittersLeft(ctx *emio.Ctx, f *emio.File, p Params) (*emio.File, error) {
 // (at most M/4 of them, ascending; consumed) followed by `need` further
 // elements of f distinct from them, found in one scan of f.
 func padDistinct(ctx *emio.Ctx, f *emio.File, base *emio.File, need int64) (*emio.File, error) {
+	sp := ctx.StartSpan("core/pad-distinct", emio.AttrInt("need", need))
+	defer sp.End()
 	have, err := emio.LoadAll(ctx, base)
 	if err != nil {
 		return nil, err
@@ -150,6 +156,8 @@ func padDistinct(ctx *emio.Ctx, f *emio.File, base *emio.File, need int64) (*emi
 // rank-multiples of b as selected splitters and the smallest non-multiple
 // ranks as padding, until K-1 splitters are out.
 func splittersLeftViaSort(ctx *emio.Ctx, f *emio.File, k, b, kp int64) (*emio.File, error) {
+	sp := ctx.StartSpan("core/left-sort-path", emio.AttrInt("k", k), emio.AttrInt("kp", kp))
+	defer sp.End()
 	sorted, err := extsort.Sort(ctx, f)
 	if err != nil {
 		return nil, err
@@ -281,6 +289,8 @@ func takePrefix(ctx *emio.Ctx, f *emio.File, k int64) (*emio.File, error) {
 	if k > f.Len() {
 		return nil, fmt.Errorf("core: prefix %d of %d-element file", k, f.Len())
 	}
+	sp := ctx.StartSpan("core/take-prefix", emio.AttrInt("k", k))
+	defer sp.End()
 	out := ctx.Scratch("prefix")
 	w, err := emio.NewWriter(ctx, out)
 	if err != nil {

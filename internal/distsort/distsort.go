@@ -19,6 +19,8 @@ import (
 // Sort returns a new file holding the elements of in sorted by (Key, Aux).
 // The input file is unchanged.
 func Sort(ctx *emio.Ctx, in *emio.File) (*emio.File, error) {
+	sp := ctx.StartSpan("distsort/sort", emio.AttrInt("n", in.Len()))
+	defer sp.End()
 	out := ctx.Scratch("distsorted")
 	w, err := emio.NewWriter(ctx, out)
 	if err != nil {
@@ -83,11 +85,17 @@ func sortInto(ctx *emio.Ctx, chunk *emio.File, owned bool, w *emio.Writer) error
 	if int64(g) > n {
 		g = int(n)
 	}
+	// One span per distribution level; the recursion into oversized buckets
+	// nests below it, so the span tree depth is the recursion depth.
+	lsp := ctx.StartSpan("distsort/level", emio.AttrInt("n", n), emio.AttrInt("g", int64(g)))
+	defer lsp.End()
 	res, err := approxsplit.Splitters(ctx, chunk, g)
 	if err != nil {
 		return err
 	}
+	ssp := ctx.StartSpan("distsort/scatter", emio.AttrInt("n", n))
 	buckets, err := scatter(ctx, chunk, res.Splitters)
+	ssp.End()
 	res.Close()
 	if err != nil {
 		return err

@@ -9,10 +9,11 @@ import (
 // (M, B), the disk, the memory accountant, a deterministic random source for
 // the randomized subroutines, and a scratch-file factory.
 type Ctx struct {
-	cfg  Config
-	disk *Disk
-	mem  *Accountant
-	rng  *rand.Rand
+	cfg    Config
+	disk   *Disk
+	mem    *Accountant
+	rng    *rand.Rand
+	tracer *Tracer // nil when tracing is disabled (the fast path)
 
 	scratchSeq int64
 }
@@ -81,10 +82,15 @@ func (c *Ctx) Rng() *rand.Rand { return c.rng }
 // SetSeed reseeds the context's random source.
 func (c *Ctx) SetSeed(s1, s2 uint64) { c.rng = rand.New(rand.NewPCG(s1, s2)) }
 
-// Scratch creates an empty scratch file tagged for diagnostics.
+// Scratch creates an empty scratch file tagged for diagnostics. Scratch
+// files are tracked by the disk's live-file registry until released, which is
+// what the leak detector (Disk.LiveScratchFiles, RequireNoLeaks) and the
+// tracer's file columns observe.
 func (c *Ctx) Scratch(tag string) *File {
 	c.scratchSeq++
-	return c.disk.NewFile(fmt.Sprintf("scratch-%s-%d", tag, c.scratchSeq))
+	f := c.disk.NewFile(fmt.Sprintf("scratch-%s-%d", tag, c.scratchSeq))
+	c.disk.markScratch(f)
+	return f
 }
 
 // AllocElems allocates an in-memory element buffer of length n, charged

@@ -3,6 +3,7 @@ package emio
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // Disk is a simulated block device. It stores files as slices of blocks,
@@ -35,6 +36,12 @@ type Disk struct {
 	// bounds the number of input elements an algorithm has "seen" in the
 	// sense of the paper's §2-§3 lower-bound proofs.
 	tracked map[*File]map[int]bool
+
+	// Live-file registry: every unreleased file, plus a running count of
+	// the unreleased scratch files among them. The registry powers the
+	// scratch-leak detector and the tracer's file-attribution columns.
+	liveFiles   map[*File]struct{}
+	liveScratch int
 }
 
 // ErrReleased is returned when accessing a File whose storage was released.
@@ -135,5 +142,53 @@ func (d *Disk) NewFile(name string) *File {
 		d.fileSeq++
 		name = fmt.Sprintf("file-%d", d.fileSeq)
 	}
-	return &File{disk: d, name: name}
+	f := &File{disk: d, name: name}
+	if d.liveFiles == nil {
+		d.liveFiles = make(map[*File]struct{})
+	}
+	d.liveFiles[f] = struct{}{}
+	return f
+}
+
+// markScratch tags a freshly created file as algorithm scratch (called by
+// Ctx.Scratch) so the leak detector can tell scratch from harness-staged
+// inputs and so the tracer can count scratch traffic per span.
+func (d *Disk) markScratch(f *File) {
+	f.scratch = true
+	d.liveScratch++
+}
+
+// noteRelease removes a file from the live registry (called by File.Release).
+func (d *Disk) noteRelease(f *File) {
+	delete(d.liveFiles, f)
+	if f.scratch {
+		d.liveScratch--
+	}
+}
+
+// LiveFiles returns the diagnostic names of every live (created and not yet
+// released) file, sorted. Harness-staged inputs count as live files; scratch
+// files appear with their "scratch-" prefixed tags.
+func (d *Disk) LiveFiles() []string {
+	out := make([]string, 0, len(d.liveFiles))
+	for f := range d.liveFiles {
+		out = append(out, f.name)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// LiveScratchFiles returns the names of the live files created through
+// Ctx.Scratch, sorted: after a top-level algorithm has returned and its
+// outputs have been released, this list is exactly the set of leaked scratch
+// files, and should be empty.
+func (d *Disk) LiveScratchFiles() []string {
+	var out []string
+	for f := range d.liveFiles {
+		if f.scratch {
+			out = append(out, f.name)
+		}
+	}
+	slices.Sort(out)
+	return out
 }

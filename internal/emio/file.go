@@ -21,6 +21,7 @@ type File struct {
 	nblocks  int
 	sealed   bool
 	released bool
+	scratch  bool // created through Ctx.Scratch (leak-detector relevant)
 
 	mem     [][]Elem // memStore payloads
 	extents []int64  // fileStore block offsets
@@ -54,8 +55,12 @@ func (f *File) Released() bool { return f.released }
 // Releasing costs no I/Os (deallocation is metadata work). A released file
 // must not be accessed again.
 func (f *File) Release() {
+	if f.released {
+		return
+	}
 	f.disk.store.release(f)
 	f.disk.noteFree(int64(f.nblocks))
+	f.disk.noteRelease(f)
 	f.n = 0
 	f.nblocks = 0
 	f.released = true

@@ -1,0 +1,29 @@
+package emio
+
+// TestingT is the slice of *testing.T the leak detector needs. Declared as a
+// local interface so that package emio (linked into every binary) never
+// imports the testing package itself.
+type TestingT interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// RequireNoLeaks fails the test when any scratch file created through
+// Ctx.Scratch is still live. Call it after a top-level algorithm has returned
+// and the caller has released the algorithm's output files: every internal
+// scratch file must be gone by then, so anything left is a leak — a file some
+// error path or early return forgot to release, silently inflating the
+// simulated disk footprint.
+func RequireNoLeaks(t TestingT, c *Ctx) {
+	t.Helper()
+	leaks := c.Disk().LiveScratchFiles()
+	if len(leaks) == 0 {
+		return
+	}
+	show := leaks
+	const maxShow = 12
+	if len(show) > maxShow {
+		show = show[:maxShow]
+	}
+	t.Fatalf("emio: %d scratch files leaked (first %d shown): %v", len(leaks), len(show), show)
+}

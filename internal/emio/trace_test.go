@@ -1,0 +1,253 @@
+package emio
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// writeScratch creates a scratch file of n sequential elements inside the
+// current span, charging the usual writer I/Os.
+func writeScratch(t *testing.T, ctx *Ctx, n int) *File {
+	t.Helper()
+	f := ctx.Scratch("t")
+	w, err := NewWriter(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w.Append(Elem{Key: int64(i), Aux: int64(i)})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStartSpanWithoutTracerIsNil(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	sp := ctx.StartSpan("phase", AttrInt("n", 1))
+	if sp != nil {
+		t.Fatalf("StartSpan without tracer = %v, want nil", sp)
+	}
+	// All nil-span methods must be no-ops, not panics.
+	sp.End()
+	sp.SetAttr("k", 2)
+	if sp.Open() {
+		t.Error("nil span reports open")
+	}
+}
+
+func TestSpanTreeNestingAndIO(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	tr := NewTracer()
+	ctx.SetTracer(tr)
+
+	root := ctx.StartSpan("root", AttrInt("n", 32))
+	aSp := ctx.StartSpan("child-a")
+	fa := writeScratch(t, ctx, 32)
+	aSp.End()
+	bSp := ctx.StartSpan("child-b")
+	fb := writeScratch(t, ctx, 16)
+	bSp.End()
+	root.End()
+	fa.Release()
+	fb.Release()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "root" {
+		t.Fatalf("roots = %v", roots)
+	}
+	r := roots[0]
+	if len(r.Children) != 2 {
+		t.Fatalf("root has %d children, want 2", len(r.Children))
+	}
+	a, b := r.Children[0], r.Children[1]
+	if a.Depth != 1 || b.Depth != 1 || r.Depth != 0 {
+		t.Errorf("depths root=%d a=%d b=%d", r.Depth, a.Depth, b.Depth)
+	}
+	if a.IO.Writes != 4 { // 32 elements / B=8
+		t.Errorf("child-a writes = %d, want 4", a.IO.Writes)
+	}
+	if b.IO.Writes != 2 {
+		t.Errorf("child-b writes = %d, want 2", b.IO.Writes)
+	}
+	// Counters are inclusive: the root saw both children's I/O.
+	if r.IO.Total() != a.IO.Total()+b.IO.Total() {
+		t.Errorf("root IO %d != children sum %d", r.IO.Total(), a.IO.Total()+b.IO.Total())
+	}
+	if a.FilesCreated != 1 || a.LiveFileDelta != 1 {
+		t.Errorf("child-a files=%d live∆=%d, want 1, 1", a.FilesCreated, a.LiveFileDelta)
+	}
+	if r.FilesCreated != 2 {
+		t.Errorf("root files=%d, want 2", r.FilesCreated)
+	}
+}
+
+func TestSpanPeakMemoryIsScoped(t *testing.T) {
+	ctx := mustCtx(t, 256, 8)
+	tr := NewTracer()
+	ctx.SetTracer(tr)
+
+	root := ctx.StartSpan("root")
+	big := ctx.StartSpan("big")
+	buf, err := ctx.AllocElems(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.FreeElems(buf)
+	big.End()
+	small := ctx.StartSpan("small")
+	buf2, err := ctx.AllocElems(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.FreeElems(buf2)
+	small.End()
+	root.End()
+
+	r := tr.Roots()[0]
+	bigSp, smallSp := r.Children[0], r.Children[1]
+	if bigSp.PeakMem < 100 {
+		t.Errorf("big span peak %d, want >= 100", bigSp.PeakMem)
+	}
+	// The quiet sibling must report its own peak, not the earlier phase's.
+	if smallSp.PeakMem >= 100 {
+		t.Errorf("small span peak %d leaked from sibling", smallSp.PeakMem)
+	}
+	if r.PeakMem < bigSp.PeakMem {
+		t.Errorf("root peak %d < child peak %d", r.PeakMem, bigSp.PeakMem)
+	}
+	// The accountant's own high-water mark survives span scoping.
+	if got := ctx.Mem().Peak(); got < 100 {
+		t.Errorf("accountant peak %d, want >= 100", got)
+	}
+}
+
+func TestSpanEndClosesOpenDescendants(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	tr := NewTracer()
+	ctx.SetTracer(tr)
+
+	root := ctx.StartSpan("root")
+	ctx.StartSpan("left-open") // an error path unwound past its End
+	ctx.StartSpan("deeper")
+	root.End()
+
+	r := tr.Roots()[0]
+	if r.Open() {
+		t.Error("root still open")
+	}
+	if len(r.Children) != 1 || r.Children[0].Open() {
+		t.Error("dangling child not closed by ancestor End")
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Open() {
+		t.Error("dangling grandchild not closed")
+	}
+	// Double End is harmless.
+	root.End()
+	if len(tr.Roots()) != 1 {
+		t.Errorf("double End duplicated roots: %d", len(tr.Roots()))
+	}
+}
+
+func TestTracerRenderAndJSON(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	tr := NewTracer()
+	ctx.SetTracer(tr)
+	sp := ctx.StartSpan("alpha", AttrInt("n", 7), AttrStr("mode", "fast"))
+	f := writeScratch(t, ctx, 8)
+	sp.End()
+	f.Release()
+
+	out := tr.Render()
+	for _, want := range []string{"alpha n=7 mode=fast", "ios", "peakMem"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+
+	raw, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []SpanJSON
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "alpha" || spans[0].Writes != 1 {
+		t.Errorf("JSON export = %+v", spans)
+	}
+	if spans[0].Attrs["n"] != float64(7) {
+		t.Errorf("attr n = %v", spans[0].Attrs["n"])
+	}
+
+	tr.Reset()
+	if len(tr.Roots()) != 0 {
+		t.Error("Reset left roots behind")
+	}
+}
+
+func TestFindAndWalk(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	tr := NewTracer()
+	ctx.SetTracer(tr)
+	for i := 0; i < 3; i++ {
+		sp := ctx.StartSpan("outer")
+		ctx.StartSpan("inner").End()
+		sp.End()
+	}
+	if got := len(tr.Find("inner")); got != 3 {
+		t.Errorf("Find(inner) = %d spans, want 3", got)
+	}
+	var n int
+	tr.Walk(func(*Span) { n++ })
+	if n != 6 {
+		t.Errorf("Walk visited %d spans, want 6", n)
+	}
+}
+
+func TestLiveFilesAndLeakDetector(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	f := writeScratch(t, ctx, 8)
+	staged := BuildFile(ctx.Disk(), "staged", seqElems(8))
+
+	live := ctx.Disk().LiveFiles()
+	if len(live) != 2 {
+		t.Fatalf("LiveFiles = %v, want 2 entries", live)
+	}
+	scratch := ctx.Disk().LiveScratchFiles()
+	if len(scratch) != 1 || !strings.HasPrefix(scratch[0], "scratch-t-") {
+		t.Fatalf("LiveScratchFiles = %v", scratch)
+	}
+
+	ft := &fakeT{}
+	RequireNoLeaks(ft, ctx)
+	if !ft.failed {
+		t.Error("RequireNoLeaks passed with a live scratch file")
+	}
+
+	f.Release()
+	f.Release() // double release must not corrupt the registry
+	ft2 := &fakeT{}
+	RequireNoLeaks(ft2, ctx)
+	if ft2.failed {
+		t.Errorf("RequireNoLeaks failed with no scratch leaks: %s", ft2.msg)
+	}
+	// The staged input is still live but is not an algorithm leak.
+	if got := ctx.Disk().LiveFiles(); len(got) != 1 || got[0] != "staged" {
+		t.Errorf("LiveFiles after release = %v", got)
+	}
+	staged.Release()
+}
+
+type fakeT struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeT) Helper() {}
+func (f *fakeT) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msg = format
+}

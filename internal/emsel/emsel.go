@@ -34,6 +34,8 @@ func selectBy(ctx *emio.Ctx, f *emio.File, k int64, pivoter func(*emio.Ctx, *emi
 	if k < 1 || k > f.Len() {
 		return emio.Elem{}, fmt.Errorf("emsel: rank %d out of [1,%d]", k, f.Len())
 	}
+	sp := ctx.StartSpan("emsel/select", emio.AttrInt("n", f.Len()), emio.AttrInt("rank", k))
+	defer sp.End()
 	cur, owned := f, false
 	for {
 		n := cur.Len()
@@ -50,8 +52,10 @@ func selectBy(ctx *emio.Ctx, f *emio.File, k int64, pivoter func(*emio.Ctx, *emi
 			return e, nil
 		}
 
+		rsp := ctx.StartSpan("emsel/round", emio.AttrInt("n", n))
 		pivot, err := pivoter(ctx, cur)
 		if err != nil {
+			rsp.End()
 			if owned {
 				cur.Release()
 			}
@@ -59,6 +63,7 @@ func selectBy(ctx *emio.Ctx, f *emio.File, k int64, pivoter func(*emio.Ctx, *emi
 		}
 
 		less, greater, lt, eq, err := partitionAround(ctx, cur, pivot)
+		rsp.End()
 		if owned {
 			cur.Release()
 		}
@@ -214,6 +219,8 @@ func SplitAtRank(ctx *emio.Ctx, f *emio.File, k int64) (low, high *emio.File, bo
 	if k < 0 || k > f.Len() {
 		return nil, nil, emio.Elem{}, fmt.Errorf("emsel: split rank %d out of [0,%d]", k, f.Len())
 	}
+	sp := ctx.StartSpan("emsel/split-at-rank", emio.AttrInt("n", f.Len()), emio.AttrInt("rank", k))
+	defer sp.End()
 	low = ctx.Scratch("low")
 	high = ctx.Scratch("high")
 	if k == 0 || k == f.Len() {

@@ -25,6 +25,8 @@ import (
 // plus an output buffer and the tournament state, so configurations tighter
 // than roughly M >= 3B fail with emio.ErrMemoryBudget.
 func Sort(ctx *emio.Ctx, in *emio.File) (*emio.File, error) {
+	sp := ctx.StartSpan("extsort/sort", emio.AttrInt("n", in.Len()))
+	defer sp.End()
 	runs, err := FormRuns(ctx, in)
 	if err != nil {
 		return nil, err
@@ -35,7 +37,12 @@ func Sort(ctx *emio.Ctx, in *emio.File) (*emio.File, error) {
 // FormRuns splits in into sorted runs of up to (M/B - 1)*B elements each,
 // costing one full read scan plus one full write scan. The returned files are
 // owned by the caller (MergeAll consumes and releases them).
-func FormRuns(ctx *emio.Ctx, in *emio.File) ([]*emio.File, error) {
+func FormRuns(ctx *emio.Ctx, in *emio.File) (runs []*emio.File, err error) {
+	sp := ctx.StartSpan("extsort/form-runs", emio.AttrInt("n", in.Len()))
+	defer func() {
+		sp.SetAttr("runs", int64(len(runs)))
+		sp.End()
+	}()
 	b := ctx.B()
 	// Leave one block for the run writer and one block of slack for a
 	// caller-held stream buffer (composite algorithms keep an output writer
@@ -51,7 +58,6 @@ func FormRuns(ctx *emio.Ctx, in *emio.File) ([]*emio.File, error) {
 	}
 	defer ctx.FreeElems(buf)
 
-	var runs []*emio.File
 	nb := in.NumBlocks()
 	for blk := 0; blk < nb; {
 		fill := 0
@@ -103,7 +109,10 @@ func MergeAllWithFanIn(ctx *emio.Ctx, runs []*emio.File, maxFan int) (*emio.File
 	if maxFan > 1 && maxFan < fan {
 		fan = maxFan
 	}
+	pass := int64(0)
 	for len(runs) > 1 {
+		psp := ctx.StartSpan("extsort/merge-pass",
+			emio.AttrInt("pass", pass), emio.AttrInt("runs", int64(len(runs))), emio.AttrInt("fan", int64(fan)))
 		var next []*emio.File
 		for lo := 0; lo < len(runs); lo += fan {
 			group := runs[lo:min(lo+fan, len(runs))]
@@ -113,11 +122,14 @@ func MergeAllWithFanIn(ctx *emio.Ctx, runs []*emio.File, maxFan int) (*emio.File
 			}
 			merged, err := mergeGroup(ctx, group)
 			if err != nil {
+				psp.End()
 				return nil, err
 			}
 			next = append(next, merged)
 		}
+		psp.End()
 		runs = next
+		pass++
 	}
 	return runs[0], nil
 }

@@ -1,0 +1,116 @@
+package extsort
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/emio"
+)
+
+// ceilLogInt returns the smallest p with base^p >= x (x >= 1, base >= 2).
+func ceilLogInt(base, x int64) int64 {
+	p := int64(0)
+	for v := int64(1); v < x; v *= base {
+		p++
+	}
+	return p
+}
+
+// TestMergePassCountMatchesBound pins the paper's pass bound with the tracer:
+// external merge sort performs exactly ceil(lg_fan(runs)) merge passes, and
+// that count never exceeds the Theorem-level ceil(lg_{M/B}(N/B)) formula. The
+// trace makes the pass structure directly observable — one
+// "extsort/merge-pass" span per pass, all siblings under "extsort/sort".
+func TestMergePassCountMatchesBound(t *testing.T) {
+	cases := []struct {
+		m, b, n int
+	}{
+		{m: 256, b: 32, n: 1 << 15},   // M/B=8: 171 runs, fan 5 -> 4 passes = theory
+		{m: 1024, b: 128, n: 1 << 16}, // M/B=8: 86 runs, fan 5 -> 3 passes = theory
+		{m: 4096, b: 32, n: 1 << 18},  // M/B=128: wide fan -> 1 pass < theory 2
+		{m: 128, b: 16, n: 1 << 12},   // tiny machine
+	}
+	for _, tc := range cases {
+		ctx := mustCtx(t, tc.m, tc.b)
+		tr := emio.NewTracer()
+		ctx.SetTracer(tr)
+		rng := rand.New(rand.NewPCG(7, 11))
+		in := emio.BuildFile(ctx.Disk(), "in", randKeys(tc.n, rng))
+
+		out, err := Sort(ctx, in)
+		if err != nil {
+			t.Fatalf("M=%d B=%d N=%d: %v", tc.m, tc.b, tc.n, err)
+		}
+		out.Release()
+
+		// Implementation closed form: runs formed at (M/B-2)*B elements each,
+		// merged with fan-in max(2, (M-2B)/(B+4)).
+		runCap := int64((tc.m/tc.b - 2) * tc.b)
+		runs := (int64(tc.n) + runCap - 1) / runCap
+		fan := int64((tc.m - 2*tc.b) / (tc.b + 4))
+		if fan < 2 {
+			fan = 2
+		}
+		wantPasses := ceilLogInt(fan, runs)
+
+		passes := tr.Find("extsort/merge-pass")
+		if int64(len(passes)) != wantPasses {
+			t.Errorf("M=%d B=%d N=%d: %d merge passes, closed form wants %d",
+				tc.m, tc.b, tc.n, len(passes), wantPasses)
+		}
+		// The theorem-level bound ceil(lg_{M/B}(N/B)) always dominates.
+		theory := ceilLogInt(int64(tc.m/tc.b), int64(tc.n/tc.b))
+		if int64(len(passes)) > theory {
+			t.Errorf("M=%d B=%d N=%d: %d passes exceed ceil(lg_{M/B}(N/B)) = %d",
+				tc.m, tc.b, tc.n, len(passes), theory)
+		}
+		// Every pass span must be a direct child of the sort span, with the
+		// runs attribute strictly decreasing toward 1.
+		sorts := tr.Find("extsort/sort")
+		if len(sorts) != 1 {
+			t.Fatalf("found %d extsort/sort spans", len(sorts))
+		}
+		prevRuns := runs + 1
+		for _, psp := range passes {
+			var nRuns int64
+			for _, a := range psp.Attrs {
+				if a.Key == "runs" {
+					nRuns = a.Val.(int64)
+				}
+			}
+			if nRuns >= prevRuns {
+				t.Errorf("pass runs not decreasing: %d after %d", nRuns, prevRuns)
+			}
+			prevRuns = nRuns
+		}
+		emio.RequireNoLeaks(t, ctx)
+	}
+}
+
+// TestSortSpanIOAccounting asserts the span-tree I/O invariant on a real
+// sort: form-runs plus the merge passes account for every block transfer of
+// the whole sort, exactly.
+func TestSortSpanIOAccounting(t *testing.T) {
+	ctx := mustCtx(t, 256, 32)
+	tr := emio.NewTracer()
+	ctx.SetTracer(tr)
+	rng := rand.New(rand.NewPCG(3, 5))
+	in := emio.BuildFile(ctx.Disk(), "in", randKeys(1<<13, rng))
+	out, err := Sort(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Release()
+
+	root := tr.Find("extsort/sort")[0]
+	var sum int64
+	for _, ch := range root.Children {
+		sum += ch.IO.Total()
+	}
+	if sum != root.IO.Total() {
+		t.Errorf("children I/O %d != sort span I/O %d", sum, root.IO.Total())
+	}
+	if got := ctx.Disk().Stats().Total(); got != root.IO.Total() {
+		t.Errorf("sort span I/O %d != disk total %d", root.IO.Total(), got)
+	}
+}

@@ -46,6 +46,8 @@ func EquiDepth(ctx *emio.Ctx, f *emio.File, k int, lo, hi float64) ([]Bucket, er
 	if lo < 0 || hi < 0 {
 		return nil, fmt.Errorf("histogram: negative slack lo=%v hi=%v", lo, hi)
 	}
+	hsp := ctx.StartSpan("histogram/equi-depth", emio.AttrInt("n", n), emio.AttrInt("k", int64(k)))
+	defer hsp.End()
 
 	var spFile *emio.File
 	var err error
@@ -94,7 +96,9 @@ func EquiDepth(ctx *emio.Ctx, f *emio.File, k int, lo, hi float64) ([]Bucket, er
 	// padding path uses that freedom); bucket counting needs them ascending.
 	inmem.Sort(sp)
 
+	csp := ctx.StartSpan("histogram/count")
 	buckets, maxElem, err := countBuckets(ctx, f, sp)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}

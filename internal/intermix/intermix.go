@@ -65,6 +65,8 @@ func Select(ctx *emio.Ctx, d *emio.File, L int, targets []int64) ([]emio.Elem, e
 	if err := validate(ctx, d, L, targets); err != nil {
 		return nil, err
 	}
+	sp := ctx.StartSpan("intermix/select", emio.AttrInt("d", d.Len()), emio.AttrInt("L", int64(L)))
+	defer sp.End()
 	t, err := ctx.AllocInts(L)
 	if err != nil {
 		return nil, err
@@ -123,6 +125,7 @@ func sel(ctx *emio.Ctx, cur *emio.File, owned bool, L int, t []int64) (result []
 		if cur.Len() <= int64(ctx.M()/3) {
 			return solveInMemory(ctx, cur, L, t)
 		}
+		lsp := ctx.StartSpan("intermix/level", emio.AttrInt("d", cur.Len()))
 
 		// Phase 1: subgroup medians -> Σ, counting |Σ_g|.
 		sigma, sigSizes, err := subgroupMedians(ctx, cur, L)
@@ -187,6 +190,7 @@ func sel(ctx *emio.Ctx, cur *emio.File, owned bool, L int, t []int64) (result []
 			cur.Release()
 		}
 		cur, owned = next, true
+		lsp.End()
 	}
 }
 

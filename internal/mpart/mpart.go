@@ -34,6 +34,9 @@ const oversample = 32
 // order, and returns them concatenated in a new file. sizes must be
 // nonnegative and sum to f.Len(). The input file is unchanged.
 func Partition(ctx *emio.Ctx, f *emio.File, sizes []int64) (*emio.File, error) {
+	sp := ctx.StartSpan("mpart/partition",
+		emio.AttrInt("n", f.Len()), emio.AttrInt("k", int64(len(sizes))))
+	defer sp.End()
 	var sum int64
 	for i, s := range sizes {
 		if s < 0 {
@@ -139,11 +142,21 @@ func distribute(ctx *emio.Ctx, chunk *emio.File, owned bool, bnd *emio.File, w *
 		return w.Err()
 	}
 
+	// One span per distribution level; recursion into the buckets nests
+	// below, so span-tree depth equals the recursion depth (the quantity
+	// Theorem 4's lg_{M/B} factor bounds).
+	dsp := ctx.StartSpan("mpart/distribute",
+		emio.AttrInt("n", chunk.Len()), emio.AttrInt("bnd", bnd.Len()))
+	defer dsp.End()
+	psp := ctx.StartSpan("mpart/sample")
 	pivots, err := samplePivots(ctx, chunk)
+	psp.End()
 	if err != nil {
 		return err
 	}
+	ssp := ctx.StartSpan("mpart/scatter", emio.AttrInt("fan", int64(len(pivots)+1)))
 	buckets, counts, err := scatter(ctx, chunk, pivots)
+	ssp.End()
 	ctx.FreeElems(pivots)
 	if err != nil {
 		return err
@@ -155,7 +168,9 @@ func distribute(ctx *emio.Ctx, chunk *emio.File, owned bool, bnd *emio.File, w *
 			}
 		}
 	}
+	rsp := ctx.StartSpan("mpart/route")
 	subBnds, err := routeBoundaries(ctx, bnd, counts)
+	rsp.End()
 	if err != nil {
 		releaseRest(0)
 		return err

@@ -45,6 +45,9 @@ const bucketsPerQuery = 40
 // in f under the (Key, Aux) total order). ranks must be nondecreasing and lie
 // in [1, f.Len()]. The input file is unchanged.
 func Select(ctx *emio.Ctx, f *emio.File, ranks []int64) (*emio.File, error) {
+	sp := ctx.StartSpan("msel/select",
+		emio.AttrInt("n", f.Len()), emio.AttrInt("k", int64(len(ranks))))
+	defer sp.End()
 	n := f.Len()
 	if len(ranks) == 0 {
 		return ctx.Scratch("msel"), nil
@@ -112,6 +115,8 @@ func SelectInMemory(ctx *emio.Ctx, f *emio.File, ranks []int64) ([]emio.Elem, er
 // fallbackPerRank answers each query with an exact O(N/B) selection: the
 // degenerate-configuration path (M < 240).
 func fallbackPerRank(ctx *emio.Ctx, f *emio.File, ranks []int64) (*emio.File, error) {
+	sp := ctx.StartSpan("msel/fallback", emio.AttrInt("k", int64(len(ranks))))
+	defer sp.End()
 	out := ctx.Scratch("msel")
 	w, err := emio.NewWriter(ctx, out)
 	if err != nil {
@@ -137,6 +142,9 @@ func fallbackPerRank(ctx *emio.Ctx, f *emio.File, ranks []int64) (*emio.File, er
 // case per chunk. Results stream to w in rank order because both the chunks
 // and the queries are processed in ascending order.
 func generalCase(ctx *emio.Ctx, f *emio.File, ranks []int64, m int, w *emio.Writer) error {
+	sp := ctx.StartSpan("msel/general",
+		emio.AttrInt("n", f.Len()), emio.AttrInt("k", int64(len(ranks))), emio.AttrInt("m", int64(m)))
+	defer sp.End()
 	n := f.Len()
 	// Cut positions: every m-th requested rank, deduplicated, strictly
 	// inside (0, n).
@@ -215,6 +223,8 @@ func baseCase(ctx *emio.Ctx, chunk *emio.File, ranks []int64) ([]emio.Elem, erro
 	if n <= int64(ctx.M()/3) {
 		return baseCaseInMemory(ctx, chunk, ranks)
 	}
+	sp := ctx.StartSpan("msel/base-case", emio.AttrInt("n", n), emio.AttrInt("k", int64(k)))
+	defer sp.End()
 
 	g := bucketsPerQuery * k
 	if maxG := approxsplit.MaxBuckets(ctx.Config()); g > maxG {
@@ -254,6 +264,7 @@ func baseCase(ctx *emio.Ctx, chunk *emio.File, ranks []int64) ([]emio.Elem, erro
 	// Build the intermixed instance: group i receives a copy of bucket
 	// qBucket[i], keyed by the element key with Aux packed as (group, seq)
 	// where seq is the element's position in the chunk.
+	bsp := ctx.StartSpan("msel/build-instance")
 	d := ctx.Scratch("mselD")
 	dw, err := emio.NewWriter(ctx, d)
 	if err != nil {
@@ -285,6 +296,8 @@ func baseCase(ctx *emio.Ctx, chunk *emio.File, ranks []int64) ([]emio.Elem, erro
 	if err := dw.Close(); err != nil && rerr == nil {
 		rerr = err
 	}
+	bsp.SetAttr("d", d.Len())
+	bsp.End()
 	if rerr != nil {
 		d.Release()
 		return nil, rerr

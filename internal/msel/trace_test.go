@@ -1,0 +1,100 @@
+package msel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/emio"
+)
+
+// ceilLogBase returns the smallest p with base^p >= x (x >= 1, base >= 2).
+func ceilLogBase(base, x int64) int64 {
+	p := int64(0)
+	for v := int64(1); v < x; v *= base {
+		p++
+	}
+	return p
+}
+
+// distributeDepth returns the deepest chain of nested "mpart/distribute"
+// spans in the trace: the multi-partition recursion depth, the quantity
+// Theorem 4's lg_{M/B} factor bounds.
+func distributeDepth(tr *emio.Tracer) int64 {
+	var rec func(sp *emio.Span, chain int64) int64
+	rec = func(sp *emio.Span, chain int64) int64 {
+		if sp.Name == "mpart/distribute" {
+			chain++
+		}
+		best := chain
+		for _, ch := range sp.Children {
+			if d := rec(ch, chain); d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	var best int64
+	for _, r := range tr.Roots() {
+		if d := rec(r, 0); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestSelectRecursionDepthBound pins the recursion depth with the tracer: on
+// a grid of machines and rank counts, the multi-partition recursion inside
+// multi-selection stays within O(lg_{M/B}(N/B)) levels. Concretely: a chunk
+// recurses only while it holds a boundary and exceeds the M/3 in-memory
+// floor, and every level divides the boundary-bearing chunk by the fan-out
+// f = (M-3B)/(B+2) in expectation, so the deepest chain is
+// ceil(lg_f(3N/M)) + O(1) levels — we allow 2 levels of slack for random
+// pivot skew. Chunks without boundaries are pruned immediately (the bnd=0
+// early-out), which is where small K saves its I/O.
+func TestSelectRecursionDepthBound(t *testing.T) {
+	cases := []struct {
+		m, b, n int
+		k       int64
+	}{
+		{m: 256, b: 32, n: 1 << 14, k: 8},
+		{m: 256, b: 32, n: 1 << 14, k: 64},
+		{m: 256, b: 32, n: 1 << 15, k: 256},
+		{m: 512, b: 32, n: 1 << 15, k: 128},
+		{m: 1024, b: 64, n: 1 << 16, k: 64},
+	}
+	for _, tc := range cases {
+		ctx := mustCtx(t, tc.m, tc.b)
+		tr := emio.NewTracer()
+		ctx.SetTracer(tr)
+		rng := rand.New(rand.NewPCG(42, uint64(tc.k)))
+		_, f := randFile(ctx.Disk(), tc.n, int64(tc.n)*4, rng)
+
+		ranks := make([]int64, tc.k-1)
+		for i := range ranks {
+			ranks[i] = int64(i+1) * int64(tc.n) / tc.k
+		}
+		out, err := Select(ctx, f, ranks)
+		if err != nil {
+			t.Fatalf("M=%d B=%d N=%d K=%d: %v", tc.m, tc.b, tc.n, tc.k, err)
+		}
+		out.Release()
+
+		fan := int64((tc.m - 3*tc.b) / (tc.b + 2))
+		if fan < 2 {
+			fan = 2
+		}
+		arg := (3*int64(tc.n) + int64(tc.m) - 1) / int64(tc.m)
+		bound := 2 + ceilLogBase(fan, arg)
+		depth := distributeDepth(tr)
+		if depth > bound {
+			t.Errorf("M=%d B=%d N=%d K=%d: distribute depth %d exceeds 2+ceil(lg_%d(%d)) = %d",
+				tc.m, tc.b, tc.n, tc.k, depth, fan, arg, bound)
+		}
+		if tc.k >= 64 && depth == 0 {
+			t.Errorf("M=%d B=%d N=%d K=%d: no mpart/distribute spans recorded — instrumentation gone?",
+				tc.m, tc.b, tc.n, tc.k)
+		}
+		f.Release()
+		emio.RequireNoLeaks(t, ctx)
+	}
+}

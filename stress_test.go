@@ -42,6 +42,7 @@ func TestStressSortAllWorkloads(t *testing.T) {
 		if sys.PeakMemory() > int64(sys.Config().M) {
 			t.Fatalf("%v: peak memory %d over budget", kind, sys.PeakMemory())
 		}
+		checkNoLeaks(t, sys, out)
 	}
 }
 
@@ -69,6 +70,7 @@ func TestStressSplittersLarge(t *testing.T) {
 		if sys.PeakMemory() > int64(sys.Config().M) {
 			t.Fatalf("%+v: peak memory %d over budget", p, sys.PeakMemory())
 		}
+		checkNoLeaks(t, sys, out)
 	}
 }
 
@@ -92,6 +94,7 @@ func TestStressPartitionLarge(t *testing.T) {
 		if err := verify.Partition(elems, sys.Read(res.Data), res.Sizes, p.K, p.A, p.B); err != nil {
 			t.Fatalf("%+v: %v", p, err)
 		}
+		checkNoLeaks(t, sys, res.Data)
 	}
 }
 
@@ -115,6 +118,7 @@ func TestStressMultiSelectLargeK(t *testing.T) {
 	if err := verify.MultiSelect(elems, ranks, sys.Read(out)); err != nil {
 		t.Fatal(err)
 	}
+	checkNoLeaks(t, sys, out)
 }
 
 func TestStressPrecisePartition(t *testing.T) {
@@ -132,4 +136,5 @@ func TestStressPrecisePartition(t *testing.T) {
 	if err := verify.PrecisePartition(elems, sys.Read(out), int64(n)/128); err != nil {
 		t.Fatal(err)
 	}
+	checkNoLeaks(t, sys, out)
 }
