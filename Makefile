@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench table1 examples clean
+.PHONY: all build vet test test-short race check bench microbench table1 examples clean
 
 all: build vet test
 
@@ -26,7 +26,13 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
+# Regenerate the checked-in wall-clock A/B document for the async I/O
+# pipeline (sort/partition/splitters, pipeline off vs on, buffered and
+# O_DIRECT backing). Progress goes to stderr, the JSON to BENCH_pr3.json.
 bench:
+	$(GO) run ./cmd/embench -suite pr3 > BENCH_pr3.json
+
+microbench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
 # Regenerate the paper's Table 1 (markdown on stdout).

@@ -8,14 +8,27 @@
 // Usage:
 //
 //	embench [-n 262144] [-m 4096] [-b 32] [-quick] [-json] [-trace]
+//	        [-backing DIR] [-prefetch K] [-writebehind Q] [-suite pr3]
+//
+// With -backing the simulated disk lives in a real file under DIR and every
+// row gains wall-clock columns (ns/elem, MB/s). -prefetch and -writebehind
+// enable the asynchronous I/O pipeline for A/B runs; they change physical
+// scheduling only, never the logical I/O counts. -suite pr3 runs the
+// checked-in wall-clock A/B suite (sort/partition/splitters at three scales,
+// pipeline on vs off) and emits the BENCH_pr3.json document.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	empart "repro"
 	"repro/internal/emio"
@@ -25,30 +38,102 @@ import (
 )
 
 var (
-	flagN     = flag.Int("n", 1<<18, "input size N in elements")
-	flagM     = flag.Int("m", 1<<12, "memory size M in elements")
-	flagB     = flag.Int("b", 1<<5, "block size B in elements")
-	flagQuick = flag.Bool("quick", false, "smaller N for a fast smoke run")
-	flagDist  = flag.String("dist", "uniform", "input distribution (see internal/workload)")
-	flagJSON  = flag.Bool("json", false, "emit one JSON array of measurement rows instead of markdown")
-	flagTrace = flag.Bool("trace", false, "print a per-run phase trace (span tree) to stderr")
+	flagN       = flag.Int("n", 1<<18, "input size N in elements")
+	flagM       = flag.Int("m", 1<<12, "memory size M in elements")
+	flagB       = flag.Int("b", 1<<5, "block size B in elements")
+	flagQuick   = flag.Bool("quick", false, "smaller N for a fast smoke run")
+	flagDist    = flag.String("dist", "uniform", "input distribution (see internal/workload)")
+	flagJSON    = flag.Bool("json", false, "emit one JSON array of measurement rows instead of markdown")
+	flagTrace   = flag.Bool("trace", false, "print a per-run phase trace (span tree) to stderr")
+	flagBacking = flag.String("backing", "", "directory for file-backed disks (empty = in-memory simulation)")
+	flagPre     = flag.Int("prefetch", 0, "read-ahead depth in blocks; >0 enables the async pipeline (file-backed only)")
+	flagWB      = flag.Int("writebehind", 0, "write-behind queue depth in blocks; >0 enables the async pipeline (file-backed only)")
+	flagDirect  = flag.Bool("direct", false, "open backing files with O_DIRECT, bypassing the page cache (file-backed only)")
+	flagSuite   = flag.String("suite", "", "named suite: 'pr3' emits the wall-clock pipeline A/B JSON and exits")
+	flagProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 )
 
 type row struct {
-	Section string  `json:"section,omitempty"`
-	Label   string  `json:"label"`
-	IOs     int64   `json:"ios"`
-	Scans   float64 `json:"scans"`
-	UB      float64 `json:"ub,omitempty"`
-	LB      float64 `json:"lb,omitempty"`
-	RatioUB float64 `json:"ratioUB,omitempty"`
-	RatioLB float64 `json:"ratioLB,omitempty"`
+	Section   string  `json:"section,omitempty"`
+	Label     string  `json:"label"`
+	IOs       int64   `json:"ios"`
+	Scans     float64 `json:"scans"`
+	UB        float64 `json:"ub,omitempty"`
+	LB        float64 `json:"lb,omitempty"`
+	RatioUB   float64 `json:"ratioUB,omitempty"`
+	RatioLB   float64 `json:"ratioLB,omitempty"`
+	WallNS    int64   `json:"wallNs,omitempty"`
+	NsPerElem float64 `json:"nsPerElem,omitempty"`
+	MBps      float64 `json:"mbps,omitempty"`
+}
+
+// pipelineFromFlags assembles the Pipeline knobs for A/B runs: any positive
+// depth enables the pipeline.
+func pipelineFromFlags() empart.Pipeline {
+	p := empart.Pipeline{PrefetchDepth: *flagPre, QueueDepth: *flagWB, Direct: *flagDirect}
+	p.Enabled = *flagPre > 0 || *flagWB > 0
+	return p
+}
+
+// diskSeq names the backing files when -backing is set.
+var diskSeq int
+
+// newSystem builds the System each measurement runs on: in-memory by
+// default, file-backed (optionally pipelined) under -backing. The returned
+// cleanup closes the system and removes its backing file.
+func newSystem(cfg empart.Config) (*empart.System, func(), error) {
+	if *flagBacking == "" {
+		sys, err := empart.New(cfg)
+		return sys, func() {}, err
+	}
+	diskSeq++
+	cfg.Pipeline = pipelineFromFlags()
+	path := filepath.Join(*flagBacking, fmt.Sprintf("embench-%d.dat", diskSeq))
+	sys, err := empart.NewFileBacked(cfg, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, func() {
+		sys.Close()
+		os.Remove(path)
+	}, nil
+}
+
+// wallCols fills the wall-clock columns of a row: nanoseconds per input
+// element and physical payload throughput (ios * B * 16 bytes over the wall
+// time).
+func wallCols(r *row, n int64, b int, wall time.Duration) {
+	if wall <= 0 {
+		return
+	}
+	r.WallNS = wall.Nanoseconds()
+	r.NsPerElem = float64(wall.Nanoseconds()) / float64(n)
+	r.MBps = float64(r.IOs*int64(b)*16) / wall.Seconds() / 1e6
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("embench: ")
 	flag.Parse()
+	if *flagProf != "" {
+		pf, err := os.Create(*flagProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *flagSuite != "" {
+		if *flagSuite != "pr3" {
+			log.Fatalf("unknown suite %q (supported: pr3)", *flagSuite)
+		}
+		if err := runPR3(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *flagQuick {
 		*flagN = 1 << 15
 	}
@@ -74,18 +159,21 @@ func main() {
 	var jsonRows []row
 
 	measure := func(label string, ub, lb float64, run func(sys *empart.System, f *empart.File) error) row {
-		sys, err := empart.New(cfg)
+		sys, cleanup, err := newSystem(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer cleanup()
 		f := sys.Stage(workload.Elems(kind, int(n), *flagB, 0xeb1e55))
 		sys.ResetStats()
 		if *flagTrace {
 			sys.EnableTracing()
 		}
+		start := time.Now()
 		if err := run(sys, f); err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
+		wall := time.Since(start)
 		if *flagTrace {
 			fmt.Fprintf(os.Stderr, "--- trace %s ---\n%s", label, sys.TraceReport())
 		}
@@ -97,6 +185,9 @@ func main() {
 		if lb > 0 {
 			r.RatioLB = float64(io) / lb
 		}
+		if *flagBacking != "" {
+			wallCols(&r, n, *flagB, wall)
+		}
 		return r
 	}
 	printTable := func(title, paramCol string, rows []row) {
@@ -107,12 +198,20 @@ func main() {
 		if *flagJSON {
 			return
 		}
+		wallHdr, wallSep := "", ""
+		if *flagBacking != "" {
+			wallHdr, wallSep = " ns/elem | MB/s |", "---|---|"
+		}
 		fmt.Printf("## %s\n\n", title)
-		fmt.Printf("| %s | I/Os | scans | UB formula | ratioUB | LB floor | ratioLB |\n", paramCol)
-		fmt.Printf("|---|---|---|---|---|---|---|\n")
+		fmt.Printf("| %s | I/Os | scans | UB formula | ratioUB | LB floor | ratioLB |%s\n", paramCol, wallHdr)
+		fmt.Printf("|---|---|---|---|---|---|---|%s\n", wallSep)
 		for _, r := range rows {
-			fmt.Printf("| %s | %d | %.3f | %.0f | %.2f | %.0f | %.2f |\n",
-				r.Label, r.IOs, r.Scans, r.UB, r.RatioUB, r.LB, r.RatioLB)
+			wallCell := ""
+			if *flagBacking != "" {
+				wallCell = fmt.Sprintf(" %.1f | %.1f |", r.NsPerElem, r.MBps)
+			}
+			fmt.Printf("| %s | %d | %.3f | %.0f | %.2f | %.0f | %.2f |%s\n",
+				r.Label, r.IOs, r.Scans, r.UB, r.RatioUB, r.LB, r.RatioLB, wallCell)
 		}
 		fmt.Println()
 	}
@@ -322,31 +421,38 @@ func main() {
 		var rows []row
 		for _, nn := range []int64{n / 4, n, n * 2} {
 			rows = append(rows, func() row {
-				sys, err := empart.New(cfg)
+				sys, cleanup, err := newSystem(cfg)
 				if err != nil {
 					log.Fatal(err)
 				}
+				defer cleanup()
 				f := sys.Stage(workload.Elems(kind, int(nn), *flagB, 0xeb1e55))
 				sys.ResetStats()
 				if *flagTrace {
 					sys.EnableTracing()
 				}
+				start := time.Now()
 				out, err := sys.Sort(f)
 				if err != nil {
 					log.Fatal(err)
 				}
 				out.Release()
+				wall := time.Since(start)
 				if *flagTrace {
 					fmt.Fprintf(os.Stderr, "--- trace sort N=%d ---\n%s", nn, sys.TraceReport())
 				}
 				io := sys.Stats().Total()
-				return row{
+				r := row{
 					Label: fmt.Sprintf("N=%d", nn), IOs: io,
 					Scans: float64(io) / (float64(nn) / float64(*flagB)),
 					UB:    mc.Sort(nn), LB: mc.SortFloor(nn),
 					RatioUB: float64(io) / mc.Sort(nn),
 					RatioLB: float64(io) / mc.SortFloor(nn),
 				}
+				if *flagBacking != "" {
+					wallCols(&r, nn, *flagB, wall)
+				}
+				return r
 			}())
 		}
 		printTable("SORT-BASE: external merge sort (the trivial solution to every row)", "N", rows)
@@ -435,10 +541,11 @@ func main() {
 			{M: 1 << 14, B: 1 << 5}, // M/B = 512
 		} {
 			runOn := func(fn func(sys *empart.System, f *empart.File) error) int64 {
-				sys, err := empart.New(shape)
+				sys, cleanup, err := newSystem(shape)
 				if err != nil {
 					log.Fatal(err)
 				}
+				defer cleanup()
 				f := sys.Stage(workload.Elems(kind, int(n), shape.B, 0x5eeb))
 				sys.ResetStats()
 				if err := fn(sys, f); err != nil {
@@ -523,4 +630,227 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "embench: done")
+}
+
+// --- suite pr3: wall-clock A/B of the async I/O pipeline ------------------
+//
+// The Table-1 harness above validates logical I/O counts against the paper's
+// formulas; this suite validates the physical layer. It runs sort, partition
+// and splitters on file-backed disks at three scales with N >> M, pipeline
+// off vs on, and reports wall-clock next to the logical counters. The
+// invariant checked on every row pair: the pipeline may only move wall-clock,
+// never reads/writes.
+
+type pr3Row struct {
+	Bench      string  `json:"bench"`
+	N          int64   `json:"n"`
+	Pipeline   bool    `json:"pipeline"`
+	Direct     bool    `json:"direct"`
+	Reads      int64   `json:"reads"`
+	Writes     int64   `json:"writes"`
+	IOs        int64   `json:"ios"`
+	PhysReads  int64   `json:"physReads"`
+	PhysWrites int64   `json:"physWrites"`
+	WallNS     int64   `json:"wallNs"`
+	NsPerElem  float64 `json:"nsPerElem"`
+	MBps       float64 `json:"mbps"`
+	// Pipelined rows only: wall(off)/wall(on), and whether the logical I/O
+	// counters matched the pipeline-off run exactly.
+	Speedup float64 `json:"speedup,omitempty"`
+	IOMatch bool    `json:"ioMatch,omitempty"`
+}
+
+type pr3Doc struct {
+	Suite  string `json:"suite"`
+	Config struct {
+		M             int `json:"m"`
+		B             int `json:"b"`
+		PrefetchDepth int `json:"prefetchDepth"`
+		QueueDepth    int `json:"queueDepth"`
+		Reps          int `json:"reps"`
+	} `json:"config"`
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		DirectIO   bool   `json:"directIO"`
+	} `json:"host"`
+	Rows []pr3Row `json:"rows"`
+}
+
+func runPR3(w io.Writer) error {
+	dir, err := os.MkdirTemp("", "embench-pr3-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := empart.Config{M: 1 << 12, B: 1 << 5}
+	pipe := empart.Pipeline{Enabled: true}
+	if *flagPre > 0 || *flagWB > 0 {
+		pipe = pipelineFromFlags()
+	}
+	sizes := []int64{1 << 17, 1 << 19, 1 << 21}
+	// O_DIRECT rows pay real device latency per positioned I/O, so the direct
+	// sub-suite uses smaller N to keep the pipeline-off baseline tractable.
+	directSizes := []int64{1 << 16, 1 << 17, 1 << 18}
+	const reps = 3
+	if *flagQuick {
+		sizes = []int64{1 << 14, 1 << 15, 1 << 16}
+		directSizes = []int64{1 << 14, 1 << 15, 1 << 16}
+	}
+
+	type bench struct {
+		name string
+		run  func(sys *empart.System, f *empart.File, n int64) error
+	}
+	benches := []bench{
+		{"sort", func(sys *empart.System, f *empart.File, n int64) error {
+			out, err := sys.Sort(f)
+			if err != nil {
+				return err
+			}
+			out.Release()
+			return nil
+		}},
+		{"partition", func(sys *empart.System, f *empart.File, n int64) error {
+			res, err := sys.Partition(f, empart.Params{K: 64, A: 0, B: n / 16})
+			if err != nil {
+				return err
+			}
+			res.Release()
+			return nil
+		}},
+		{"splitters", func(sys *empart.System, f *empart.File, n int64) error {
+			out, err := sys.Splitters(f, empart.Params{K: 64, A: 64, B: n})
+			if err != nil {
+				return err
+			}
+			out.Release()
+			return nil
+		}},
+	}
+
+	seq := 0
+	observe := func(b bench, n int64, pipelined, direct bool) (pr3Row, error) {
+		var best time.Duration
+		var stats, phys empart.Stats
+		for rep := 0; rep < reps; rep++ {
+			c := cfg
+			if pipelined {
+				c.Pipeline = pipe
+			}
+			c.Pipeline.Direct = direct
+			seq++
+			path := filepath.Join(dir, fmt.Sprintf("run-%d.dat", seq))
+			sys, err := empart.NewFileBacked(c, path)
+			if err != nil {
+				return pr3Row{}, err
+			}
+			f := sys.Stage(workload.Elems(workload.Uniform, int(n), cfg.B, 0x9423))
+			sys.ResetStats()
+			pre := sys.PhysStats()
+			start := time.Now()
+			runErr := b.run(sys, f, n)
+			wall := time.Since(start)
+			st := sys.Stats()
+			ph := sys.PhysStats().Sub(pre)
+			sys.Close()
+			os.Remove(path)
+			if runErr != nil {
+				return pr3Row{}, fmt.Errorf("%s n=%d pipeline=%v: %w", b.name, n, pipelined, runErr)
+			}
+			if rep == 0 {
+				stats, phys, best = st, ph, wall
+			} else {
+				if st != stats {
+					return pr3Row{}, fmt.Errorf("%s n=%d pipeline=%v: I/O counts differ across reps: %v vs %v",
+						b.name, n, pipelined, st, stats)
+				}
+				if wall < best {
+					best = wall
+				}
+			}
+		}
+		r := pr3Row{
+			Bench: b.name, N: n, Pipeline: pipelined, Direct: direct,
+			Reads: stats.Reads, Writes: stats.Writes, IOs: stats.Total(),
+			PhysReads: phys.Reads, PhysWrites: phys.Writes,
+		}
+		wallCols2(&r, n, cfg.B, best)
+		return r, nil
+	}
+
+	var doc pr3Doc
+	doc.Suite = "pr3"
+	norm := pipe
+	if norm.PrefetchDepth == 0 {
+		norm.PrefetchDepth = emio.DefaultPrefetchDepth
+	}
+	if norm.QueueDepth == 0 {
+		norm.QueueDepth = emio.DefaultQueueDepth
+	}
+	doc.Config.M, doc.Config.B = cfg.M, cfg.B
+	doc.Config.PrefetchDepth, doc.Config.QueueDepth = norm.PrefetchDepth, norm.QueueDepth
+	doc.Config.Reps = reps
+	doc.Host.GOOS, doc.Host.GOARCH, doc.Host.GOMAXPROCS = runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)
+	doc.Host.DirectIO = emio.DirectIOSupported(dir)
+
+	abPair := func(b bench, n int64, direct bool) error {
+		off, err := observe(b, n, false, direct)
+		if err != nil {
+			return err
+		}
+		on, err := observe(b, n, true, direct)
+		if err != nil {
+			return err
+		}
+		on.Speedup = float64(off.WallNS) / float64(on.WallNS)
+		on.IOMatch = off.Reads == on.Reads && off.Writes == on.Writes
+		doc.Rows = append(doc.Rows, off, on)
+		mode := "buffered"
+		if direct {
+			mode = "direct"
+		}
+		fmt.Fprintf(os.Stderr, "pr3: %-8s %-9s n=%-8d off %8.2fms  on %8.2fms  speedup %.2fx  ioMatch=%v  phys %d+%d -> %d+%d\n",
+			mode, b.name, n, float64(off.WallNS)/1e6, float64(on.WallNS)/1e6, on.Speedup, on.IOMatch,
+			off.PhysReads, off.PhysWrites, on.PhysReads, on.PhysWrites)
+		return nil
+	}
+
+	for _, b := range benches {
+		for _, n := range sizes {
+			if err := abPair(b, n, false); err != nil {
+				return err
+			}
+		}
+	}
+	// The direct sub-suite is the EM-model cost regime: every positioned I/O
+	// pays real device latency instead of a page-cache memcpy, so coalescing
+	// and overlap show their full effect. Skipped (with a note) where the
+	// filesystem rejects O_DIRECT.
+	if doc.Host.DirectIO {
+		for _, b := range benches {
+			for _, n := range directSizes {
+				if err := abPair(b, n, true); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "pr3: O_DIRECT unsupported here; skipping the direct sub-suite")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// wallCols2 is wallCols for pr3 rows.
+func wallCols2(r *pr3Row, n int64, b int, wall time.Duration) {
+	if wall <= 0 {
+		return
+	}
+	r.WallNS = wall.Nanoseconds()
+	r.NsPerElem = float64(wall.Nanoseconds()) / float64(n)
+	r.MBps = float64(r.IOs*int64(b)*16) / wall.Seconds() / 1e6
 }

@@ -25,15 +25,15 @@ import (
 )
 
 var (
-	flagAlgo = flag.String("algo", "splitters", "splitters | partition | multiselect | multipartition | precise | sort | histogram")
-	flagN    = flag.Int("n", 1<<18, "input size N")
-	flagM    = flag.Int("m", 1<<12, "memory size M")
-	flagB    = flag.Int("b", 1<<5, "block size B")
-	flagK    = flag.Int64("k", 64, "partition/splitter/rank count K")
-	flagA    = flag.Int64("a", 0, "lower size bound a")
-	flagBMax = flag.Int64("bmax", 0, "upper size bound b (0 means N)")
-	flagDist = flag.String("dist", "uniform", "input distribution")
-	flagSeed = flag.Uint64("seed", 1, "workload seed")
+	flagAlgo  = flag.String("algo", "splitters", "splitters | partition | multiselect | multipartition | precise | sort | histogram")
+	flagN     = flag.Int("n", 1<<18, "input size N")
+	flagM     = flag.Int("m", 1<<12, "memory size M")
+	flagB     = flag.Int("b", 1<<5, "block size B")
+	flagK     = flag.Int64("k", 64, "partition/splitter/rank count K")
+	flagA     = flag.Int64("a", 0, "lower size bound a")
+	flagBMax  = flag.Int64("bmax", 0, "upper size bound b (0 means N)")
+	flagDist  = flag.String("dist", "uniform", "input distribution")
+	flagSeed  = flag.Uint64("seed", 1, "workload seed")
 	flagLo    = flag.Float64("lo", 0, "histogram: relative slack below N/K")
 	flagHi    = flag.Float64("hi", 0, "histogram: relative slack above N/K")
 	flagTrace = flag.Bool("trace", false, "append a phase trace (span tree with I/O and memory attribution) to the report")

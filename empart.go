@@ -51,6 +51,10 @@ type (
 	// Config fixes the EM machine: M elements of memory, blocks of B
 	// elements, M >= 2B.
 	Config = emio.Config
+	// Pipeline configures the asynchronous prefetch/write-behind physical-I/O
+	// pipeline of file-backed systems (Config.Pipeline). It never changes
+	// logical I/O counts.
+	Pipeline = emio.Pipeline
 	// Stats is a snapshot of block-I/O counters.
 	Stats = emio.Stats
 	// File is a sequence of elements on the simulated disk.
@@ -102,8 +106,15 @@ func New(cfg Config) (*System, error) {
 // NewFileBacked creates a System whose simulated disk is backed by a real
 // file at path (created or truncated): every counted block transfer is an
 // actual positioned read or write. Call Close when done.
+//
+// Setting cfg.Pipeline.Enabled turns on the asynchronous prefetch/
+// write-behind pipeline for the backing file: appends are written by a
+// background worker through a bounded queue and sequential scans trigger
+// coalesced read-ahead, overlapping physical I/O with computation. The
+// pipeline affects wall-clock speed only — Stats, trace spans, fault-hook
+// order and all outputs are bit-identical with it on or off.
 func NewFileBacked(cfg Config, path string) (*System, error) {
-	d, err := emio.NewFileBackedDisk(path, cfg.B)
+	d, err := emio.NewFileBackedDiskPipeline(path, cfg.B, cfg.Pipeline)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +162,17 @@ func (s *System) PeakDiskBlocks() int64 { return s.ctx.Disk().PeakLiveBlocks() }
 
 // ResetPeakDisk lowers the disk-footprint high-water mark to current usage.
 func (s *System) ResetPeakDisk() { s.ctx.Disk().ResetPeakLive() }
+
+// BackingBytes returns the high-water byte size of the backing file for
+// file-backed systems (released extents are reused, so this tracks the peak
+// live footprint, not cumulative writes); 0 for in-memory systems.
+func (s *System) BackingBytes() int64 { return s.ctx.Disk().BackingBytes() }
+
+// PhysStats returns the cumulative physical transfer counts (positioned
+// read/write syscalls on the backing file) for file-backed systems; zero for
+// in-memory systems. Compare with Stats to see the pipeline's coalescing:
+// logical counts are invariant, physical counts drop when it is on.
+func (s *System) PhysStats() Stats { return s.ctx.Disk().PhysStats() }
 
 // NewTracer creates a standalone phase tracer, for sharing one tracer across
 // several Systems or inspecting spans programmatically.

@@ -9,9 +9,67 @@ import (
 //
 // M is the internal memory capacity and B the block size, both in elements.
 // The model requires M >= 2B (the machine must at least hold two blocks).
+//
+// Pipeline configures the asynchronous I/O pipeline of file-backed disks; it
+// affects only physical transfers and wall-clock speed, never the logical
+// I/O counters, and is ignored by memory-backed disks.
 type Config struct {
 	M int // memory capacity, in elements
 	B int // block size, in elements
+
+	Pipeline Pipeline // async physical-I/O pipeline (file-backed disks)
+}
+
+// Pipeline configures the asynchronous prefetch/write-behind pipeline of a
+// file-backed disk. When Enabled, block appends are encoded into pooled
+// buffers and written by a background worker (bounded by QueueDepth), and
+// sequential readers trigger coalesced read-ahead of up to PrefetchDepth
+// contiguous blocks in one positioned read. The pipeline moves only physical
+// transfers off the algorithm goroutine: logical I/O accounting, fault-hook
+// firing and trace spans happen at enqueue time, so Stats and outputs are
+// bit-identical with the pipeline on or off.
+// Direct is independent of Enabled: it opens the backing file with O_DIRECT
+// (on platforms that support it), bypassing the OS page cache so every
+// physical transfer pays real device latency — the cost regime the EM model
+// assumes. It composes with the pipeline in either state, which is what makes
+// pipeline-on/off wall-clock comparisons on a direct-I/O backing fair.
+// Direct I/O constrains physical transfers to 512-byte-aligned offsets,
+// lengths and buffers; the store pads partial blocks to honor this, which can
+// grow the backing file's byte footprint (never the logical I/O counts).
+// Use DirectIOSupported to probe the filesystem first.
+type Pipeline struct {
+	Enabled       bool
+	PrefetchDepth int  // blocks of sequential read-ahead; 0 means DefaultPrefetchDepth
+	QueueDepth    int  // write-behind queue depth in blocks; 0 means DefaultQueueDepth
+	Direct        bool // open the backing file with O_DIRECT (see above)
+}
+
+// Default pipeline depths, used when a depth knob is left at zero.
+const (
+	DefaultPrefetchDepth = 8
+	DefaultQueueDepth    = 16
+)
+
+// withDefaults fills zero depth knobs with the package defaults.
+func (p Pipeline) withDefaults() Pipeline {
+	if p.PrefetchDepth == 0 {
+		p.PrefetchDepth = DefaultPrefetchDepth
+	}
+	if p.QueueDepth == 0 {
+		p.QueueDepth = DefaultQueueDepth
+	}
+	return p
+}
+
+// validate rejects negative depth knobs.
+func (p Pipeline) validate() error {
+	if p.PrefetchDepth < 0 {
+		return fmt.Errorf("%w: prefetch depth %d < 0", ErrBadConfig, p.PrefetchDepth)
+	}
+	if p.QueueDepth < 0 {
+		return fmt.Errorf("%w: write-behind queue depth %d < 0", ErrBadConfig, p.QueueDepth)
+	}
+	return nil
 }
 
 // ErrBadConfig is wrapped by all Config validation errors.
@@ -25,7 +83,7 @@ func (c Config) Validate() error {
 	if c.M < 2*c.B {
 		return fmt.Errorf("%w: memory M=%d with block size B=%d, need M >= 2B", ErrBadConfig, c.M, c.B)
 	}
-	return nil
+	return c.Pipeline.validate()
 }
 
 // Blocks returns the number of blocks needed to store n elements,

@@ -1,0 +1,61 @@
+package emio
+
+import (
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+// directAlign is the alignment unit O_DIRECT transfers must honor: offsets,
+// lengths and buffer addresses must all be multiples of the device's logical
+// block size. 512 is the floor for every common Linux block device.
+const directAlign = 512
+
+// pad rounds n up to the store's physical transfer granule: the identity for
+// buffered stores, the next multiple of directAlign for direct ones.
+func (s *fileStore) pad(n int) int {
+	if !s.direct {
+		return n
+	}
+	return (n + directAlign - 1) &^ (directAlign - 1)
+}
+
+// extentBytes returns the physical size of block i's extent (its payload
+// size, padded in direct mode). Extent offsets and free-list keys are all in
+// these physical units.
+func (s *fileStore) extentBytes(f *File, i int) int {
+	return s.pad(f.blockLen(i) * elemBytes)
+}
+
+// alignedBytes returns a length-n byte slice whose backing address is
+// directAlign-aligned when align is true (plain make otherwise). Alignment is
+// achieved by over-allocating and slicing forward, so the result is safe for
+// O_DIRECT reads and writes.
+func alignedBytes(n int, align bool) []byte {
+	if !align {
+		return make([]byte, n)
+	}
+	raw := make([]byte, n+directAlign)
+	shift := int(directAlign-uintptr(unsafe.Pointer(&raw[0]))%directAlign) % directAlign
+	return raw[shift : shift+n : shift+n]
+}
+
+// DirectIOSupported reports whether the filesystem holding dir accepts
+// O_DIRECT transfers (it creates, writes and removes one small probe file).
+// tmpfs and some network filesystems reject O_DIRECT; callers gate
+// Pipeline.Direct on this probe.
+func DirectIOSupported(dir string) bool {
+	if oDirectFlag == 0 {
+		return false
+	}
+	path := filepath.Join(dir, ".emio-direct-probe")
+	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC|oDirectFlag, 0o644)
+	if err != nil {
+		return false
+	}
+	defer os.Remove(path)
+	defer fd.Close()
+	buf := alignedBytes(directAlign, true)
+	_, err = fd.WriteAt(buf, 0)
+	return err == nil
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package emio
+
+import "syscall"
+
+// oDirectFlag is OR-ed into the open flags of backing files created with
+// Pipeline.Direct. Zero on platforms without O_DIRECT (the knob then
+// silently degrades to buffered I/O).
+const oDirectFlag = syscall.O_DIRECT

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package emio
+
+// oDirectFlag is zero where O_DIRECT does not exist; Pipeline.Direct then
+// degrades to buffered I/O.
+const oDirectFlag = 0

@@ -16,6 +16,7 @@ type Disk struct {
 	blockSize int
 	store     blockStore
 	stats     Stats
+	prefetch  int // sequential read-ahead depth hint passed by Readers (0 = off)
 
 	// Fault hooks. When non-nil they are consulted on every transfer; a
 	// non-nil return aborts the transfer with that error. The transfer is
@@ -53,21 +54,66 @@ func NewDisk(blockSize int) *Disk {
 	if blockSize < 1 {
 		panic(fmt.Sprintf("emio.NewDisk: block size %d < 1", blockSize))
 	}
-	return &Disk{blockSize: blockSize, store: memStore{}}
+	return &Disk{blockSize: blockSize, store: newMemStore()}
 }
 
 // NewFileBackedDisk creates a disk whose blocks live in a real file at path
 // (created or truncated), so every counted block transfer is an actual
 // positioned read or write of 16-byte records. Close the disk when done.
 func NewFileBackedDisk(path string, blockSize int) (*Disk, error) {
+	return NewFileBackedDiskPipeline(path, blockSize, Pipeline{})
+}
+
+// NewFileBackedDiskPipeline is NewFileBackedDisk with the asynchronous
+// prefetch/write-behind pipeline configured by p. The pipeline changes only
+// physical I/O scheduling (wall-clock speed); logical I/O counters, fault
+// hooks, tracing and outputs are bit-identical with the pipeline on or off.
+func NewFileBackedDiskPipeline(path string, blockSize int, p Pipeline) (*Disk, error) {
 	if blockSize < 1 {
 		return nil, fmt.Errorf("emio: block size %d < 1", blockSize)
 	}
-	st, err := newFileStore(path, blockSize)
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	st, err := newFileStore(path, blockSize, p)
 	if err != nil {
 		return nil, err
 	}
-	return &Disk{blockSize: blockSize, store: st}, nil
+	d := &Disk{blockSize: blockSize, store: st}
+	if p.Enabled {
+		d.prefetch = p.withDefaults().PrefetchDepth
+	}
+	return d, nil
+}
+
+// BackingBytes returns the high-water byte size of the store's backing file
+// (the append cursor, which free-extent reuse keeps close to the peak live
+// footprint); 0 for memory-backed disks.
+func (d *Disk) BackingBytes() int64 {
+	if s, ok := d.store.(backingSizer); ok {
+		return s.backingBytes()
+	}
+	return 0
+}
+
+// FreeExtents returns the number of released block extents currently
+// available for reuse in the backing file; 0 for memory-backed disks.
+func (d *Disk) FreeExtents() int64 {
+	if s, ok := d.store.(backingSizer); ok {
+		return s.freeExtents()
+	}
+	return 0
+}
+
+// PhysStats returns the cumulative count of physical transfers (positioned
+// read/write syscalls) issued to the backing file; zero for memory-backed
+// disks. Logical Stats never change with the pipeline, but PhysStats drops by
+// the coalescing factor when it is on.
+func (d *Disk) PhysStats() Stats {
+	if s, ok := d.store.(physCounter); ok {
+		return s.physStats()
+	}
+	return Stats{}
 }
 
 // Close releases backend resources (the backing file for file-backed disks;

@@ -80,6 +80,25 @@ func (f *File) blockLen(i int) int {
 // partial last block or when a fault hook aborts the transfer.
 // buf must have capacity for a full block.
 func (f *File) ReadBlock(i int, buf []Elem) (int, error) {
+	return f.readBlockAhead(i, buf, 0)
+}
+
+// ReadBlockSequential is ReadBlock for callers scanning the file in block
+// order: it carries the disk's configured read-ahead depth, so a pipelined
+// file-backed store may prefetch the following contiguous blocks with one
+// coalesced physical read. Logical cost is identical to ReadBlock (exactly
+// one read I/O for block i); on non-pipelined disks the two are the same
+// operation. The streaming Reader uses this path internally.
+func (f *File) ReadBlockSequential(i int, buf []Elem) (int, error) {
+	return f.readBlockAhead(i, buf, f.disk.prefetch)
+}
+
+// readBlockAhead is ReadBlock plus a sequential-intent hint: a store running
+// the async pipeline may prefetch up to ahead further contiguous blocks with
+// one coalesced physical read. The hint never changes logical accounting —
+// exactly one read I/O is charged for block i, here, on the caller's
+// goroutine, before any physical transfer.
+func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 	if f.released {
 		return 0, fmt.Errorf("%w (%s)", ErrReleased, f.name)
 	}
@@ -93,11 +112,32 @@ func (f *File) ReadBlock(i int, buf []Elem) (int, error) {
 			return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
 		}
 	}
-	n, err := f.disk.store.read(f, i, buf)
+	var (
+		n   int
+		err error
+	)
+	if ar, ok := f.disk.store.(aheadReader); ok && ahead > 0 {
+		n, err = ar.readAhead(f, i, buf, ahead)
+	} else {
+		n, err = f.disk.store.read(f, i, buf)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
 	}
 	return n, nil
+}
+
+// Sync blocks until every write-behind block of the file has reached the
+// backing store and reports the first physical write failure among them.
+// A no-op (nil) for memory-backed disks and non-pipelined file stores.
+func (f *File) Sync() error {
+	if f.released {
+		return nil
+	}
+	if s, ok := f.disk.store.(fileSyncer); ok {
+		return s.syncFile(f)
+	}
+	return nil
 }
 
 // AppendBlock appends a block containing the given elements and charges one

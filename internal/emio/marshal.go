@@ -1,0 +1,70 @@
+package emio
+
+// Bulk element marshalling for the file-backed store. The on-disk format is
+// fixed — each element is two little-endian int64s, sixteen bytes — and an
+// Elem in memory is exactly that pair of words, so on a little-endian host
+// the in-memory image of an []Elem *is* its on-disk image and a whole block
+// can be encoded or decoded with one memmove instead of a per-element
+// binary.LittleEndian loop. The portable loop is kept as the fallback for
+// big-endian hosts and as the reference implementation the bulk path is
+// cross-checked against in tests.
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// Compile-time proof that Elem has no padding: the bulk codec reinterprets
+// []Elem as raw bytes and is only sound if the struct is exactly two packed
+// words. (Indexing fails to compile if the size ever drifts from elemBytes.)
+var _ = [1]struct{}{}[unsafe.Sizeof(Elem{})-elemBytes]
+
+// hostLittleEndian reports whether the host's native integer byte order
+// matches the on-disk little-endian format.
+var hostLittleEndian = func() bool {
+	probe := uint16(1)
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// forcePortableCodec disables the unsafe bulk fast path; the cross-check
+// tests flip it to run both codecs over the same data.
+var forcePortableCodec = false
+
+// bulkCodecUsable reports whether the zero-copy fast path may be used.
+func bulkCodecUsable() bool { return hostLittleEndian && !forcePortableCodec }
+
+// elemBytesView reinterprets an element slice as its raw byte image. Only
+// valid on little-endian hosts (the caller checks).
+func elemBytesView(s []Elem) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*elemBytes)
+}
+
+// encodeElems serializes src into dst, which must be exactly
+// len(src)*elemBytes long. When bulk is true the single-memmove fast path is
+// taken; otherwise the portable per-element loop runs.
+func encodeElems(dst []byte, src []Elem, bulk bool) {
+	if bulk && bulkCodecUsable() {
+		copy(dst, elemBytesView(src))
+		return
+	}
+	for j, e := range src {
+		binary.LittleEndian.PutUint64(dst[j*elemBytes:], uint64(e.Key))
+		binary.LittleEndian.PutUint64(dst[j*elemBytes+8:], uint64(e.Aux))
+	}
+}
+
+// decodeElems deserializes src into dst, which must be exactly
+// len(dst)*elemBytes shorter-or-equal view of src.
+func decodeElems(dst []Elem, src []byte, bulk bool) {
+	if bulk && bulkCodecUsable() {
+		copy(elemBytesView(dst), src[:len(dst)*elemBytes])
+		return
+	}
+	for j := range dst {
+		dst[j].Key = int64(binary.LittleEndian.Uint64(src[j*elemBytes:]))
+		dst[j].Aux = int64(binary.LittleEndian.Uint64(src[j*elemBytes+8:]))
+	}
+}

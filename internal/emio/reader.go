@@ -8,13 +8,14 @@ package emio
 // Errors are sticky, in the style of bufio.Scanner: Next reports exhaustion,
 // and Err distinguishes a clean end of file from an I/O failure.
 type Reader struct {
-	ctx  *Ctx
-	f    *File
-	buf  []Elem
-	blk  int // next block index to fetch
-	off  int // next element offset within buf
-	fill int // valid elements in buf
-	err  error
+	ctx     *Ctx
+	f       *File
+	buf     []Elem
+	blk     int   // next block index to fetch
+	off     int   // next element offset within buf
+	fill    int   // valid elements in buf
+	fetched int64 // elements in blocks fetched so far (keeps Remaining O(1))
+	err     error
 }
 
 // NewReader opens a sequential reader over f, allocating one block buffer.
@@ -47,7 +48,7 @@ func (r *Reader) fetch() bool {
 	if r.blk >= r.f.NumBlocks() {
 		return false
 	}
-	n, err := r.f.ReadBlock(r.blk, r.buf)
+	n, err := r.f.readBlockAhead(r.blk, r.buf, r.f.disk.prefetch)
 	if err != nil {
 		r.err = err
 		return false
@@ -55,6 +56,7 @@ func (r *Reader) fetch() bool {
 	r.blk++
 	r.off = 0
 	r.fill = n
+	r.fetched += int64(n)
 	return n > 0
 }
 
@@ -63,18 +65,12 @@ func (r *Reader) fetch() bool {
 func (r *Reader) Err() error { return r.err }
 
 // Remaining returns how many elements are still unread (metadata only, no
-// I/O).
+// I/O, O(1)).
 func (r *Reader) Remaining() int64 {
-	consumed := int64(0)
-	for i := 0; i < r.blk; i++ {
-		n, err := r.f.BlockLen(i)
-		if err != nil {
-			return 0
-		}
-		consumed += int64(n)
+	if r.f.Released() {
+		return 0
 	}
-	consumed -= int64(r.fill - r.off)
-	return r.f.Len() - consumed
+	return r.f.Len() - r.fetched + int64(r.fill-r.off)
 }
 
 // Close releases the Reader's block buffer. It is safe to call twice.

@@ -1,9 +1,9 @@
 package emio
 
 import (
-	"encoding/binary"
 	"fmt"
 	"os"
+	"sync/atomic"
 )
 
 // blockStore is the storage backend of a Disk. The default store keeps
@@ -23,10 +23,49 @@ type blockStore interface {
 	close() error
 }
 
-// memStore keeps blocks as slices hanging off the File.
-type memStore struct{}
+// Optional store capabilities, discovered by interface assertion so that the
+// core blockStore contract stays minimal.
+type (
+	// aheadReader is implemented by stores that can serve a block read with
+	// a sequential read-ahead hint: the store may prefetch up to ahead
+	// further contiguous blocks with one coalesced physical read.
+	aheadReader interface {
+		readAhead(f *File, i int, buf []Elem, ahead int) (int, error)
+	}
+	// fileSyncer is implemented by stores with deferred physical writes;
+	// syncFile blocks until every pending write of f has hit the backend and
+	// reports the first physical failure among them.
+	fileSyncer interface {
+		syncFile(f *File) error
+	}
+	// backingSizer exposes the physical footprint of a file-backed store.
+	backingSizer interface {
+		backingBytes() int64
+		freeExtents() int64
+	}
+	// physCounter exposes physical transfer counts (positioned read/write
+	// syscalls issued to the backing file). With the pipeline on these fall
+	// below the logical Stats by the coalescing factor.
+	physCounter interface {
+		physStats() Stats
+	}
+)
 
-func (memStore) read(f *File, i int, buf []Elem) (int, error) {
+// memStore keeps blocks as slices hanging off the File, recycling released
+// block slices through a bounded per-disk free list so that scratch-heavy
+// runs (merge passes, recursion) reuse memory instead of churning the GC.
+type memStore struct {
+	free [][]Elem
+}
+
+// maxMemFreeBlocks bounds the memStore free list; blocks released beyond it
+// fall back to the GC. The bound only matters for pathological release
+// storms — retention is otherwise capped by the disk's peak live footprint.
+const maxMemFreeBlocks = 1 << 14
+
+func newMemStore() *memStore { return &memStore{} }
+
+func (s *memStore) read(f *File, i int, buf []Elem) (int, error) {
 	blk := f.mem[i]
 	if cap(buf) < len(blk) {
 		return 0, fmt.Errorf("%w: buffer cap %d < block len %d", ErrBlockSize, cap(buf), len(blk))
@@ -34,16 +73,28 @@ func (memStore) read(f *File, i int, buf []Elem) (int, error) {
 	return copy(buf[:len(blk)], blk), nil
 }
 
-func (memStore) append(f *File, payload []Elem) error {
-	blk := make([]Elem, len(payload))
+func (s *memStore) append(f *File, payload []Elem) error {
+	var blk []Elem
+	if k := len(s.free); k > 0 && cap(s.free[k-1]) >= len(payload) {
+		blk, s.free[k-1], s.free = s.free[k-1][:len(payload)], nil, s.free[:k-1]
+	} else {
+		blk = make([]Elem, len(payload), f.disk.blockSize)
+	}
 	copy(blk, payload)
 	f.mem = append(f.mem, blk)
 	return nil
 }
 
-func (memStore) release(f *File) { f.mem = nil }
+func (s *memStore) release(f *File) {
+	for _, blk := range f.mem {
+		if len(s.free) < maxMemFreeBlocks && cap(blk) > 0 {
+			s.free = append(s.free, blk)
+		}
+	}
+	f.mem = nil
+}
 
-func (memStore) close() error { return nil }
+func (s *memStore) close() error { return nil }
 
 // elemBytes is the on-disk size of one element: two little-endian int64s.
 const elemBytes = 16
@@ -52,54 +103,213 @@ const elemBytes = 16
 // positioned I/O. Each stored block records its element count implicitly
 // through the File's length bookkeeping (every block is full except the
 // last), so the layout is a dense log of 16-byte records. Released extents
-// are not reclaimed — scratch-heavy algorithms grow the backing file by a
-// constant factor of their I/O volume, which is the honest disk footprint of
-// the EM model's unbounded disk.
+// go onto a size-keyed free list and are reused by later appends, capping the
+// backing file at the peak live footprint rather than the cumulative write
+// volume.
+//
+// With pipe.Enabled the store runs the asynchronous prefetch/write-behind
+// pipeline (see pipeline.go): appends enqueue encoded blocks to a background
+// worker and sequential reads are served from coalesced read-ahead staging
+// buffers. All fields except the ones explicitly protected by mu are owned
+// by the algorithm goroutine.
 type fileStore struct {
-	fd   *os.File
-	end  int64  // append cursor
-	buf  []byte // encode/decode scratch, one block
-	size int    // block size in elements
+	fd      *os.File
+	end     int64  // append cursor: high-water byte offset of the backing file
+	scratch []byte // synchronous encode/decode scratch, one (padded) block
+	size    int    // block size in elements
+	bulk    bool   // zero-copy bulk marshalling enabled (pipeline on)
+	direct  bool   // O_DIRECT backing: transfers padded to directAlign
+
+	free     map[int]*extentQueue // released extents keyed by byte length
+	nfree    int64                // number of extents on the free list
+	physR    atomic.Int64         // positioned reads issued (incl. prefetch goroutines)
+	physW    atomic.Int64         // positioned writes issued (incl. the write worker)
+	pipe     Pipeline             // normalized pipeline configuration
+	async    *asyncState          // write-behind + prefetch machinery, nil when disabled
+	closed   bool
+	closeErr error
 }
 
-func newFileStore(path string, blockSize int) (*fileStore, error) {
-	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func newFileStore(path string, blockSize int, pipe Pipeline) (*fileStore, error) {
+	direct := pipe.Direct && oDirectFlag != 0
+	flags := os.O_RDWR | os.O_CREATE | os.O_TRUNC
+	if direct {
+		flags |= oDirectFlag
+	}
+	fd, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("emio: open backing file: %w", err)
 	}
-	return &fileStore{fd: fd, buf: make([]byte, blockSize*elemBytes), size: blockSize}, nil
+	s := &fileStore{
+		fd:     fd,
+		size:   blockSize,
+		direct: direct,
+		free:   make(map[int]*extentQueue),
+	}
+	s.scratch = alignedBytes(s.pad(blockSize*elemBytes), direct)
+	if pipe.Enabled {
+		s.pipe = pipe.withDefaults()
+		s.bulk = true
+		s.startAsync()
+	}
+	return s, nil
+}
+
+// extentQueue is a FIFO of released extents of one byte length. Release
+// order matters: a released file frees an ascending contiguous run of
+// offsets, and FIFO reuse hands them back in that order, so consecutive
+// appends land on adjacent offsets and stay eligible for write coalescing
+// and contiguous read-ahead. (A LIFO stack would reverse them and defeat
+// both.)
+type extentQueue struct {
+	offs []int64
+	head int
+}
+
+func (q *extentQueue) push(off int64) { q.offs = append(q.offs, off) }
+
+func (q *extentQueue) pop() (int64, bool) {
+	if q.head == len(q.offs) {
+		return 0, false
+	}
+	off := q.offs[q.head]
+	q.head++
+	if q.head == len(q.offs) {
+		q.offs, q.head = q.offs[:0], 0
+	}
+	return off, true
+}
+
+// allocExtent returns the backing offset for a new block of nbytes, reusing
+// a released extent of the same size when one is available.
+func (s *fileStore) allocExtent(nbytes int) int64 {
+	if q := s.free[nbytes]; q != nil {
+		if off, ok := q.pop(); ok {
+			s.nfree--
+			return off
+		}
+	}
+	off := s.end
+	s.end += int64(nbytes)
+	return off
+}
+
+// freeExtent returns an extent to the free list.
+func (s *fileStore) freeExtent(off int64, nbytes int) {
+	q := s.free[nbytes]
+	if q == nil {
+		q = &extentQueue{}
+		s.free[nbytes] = q
+	}
+	q.push(off)
+	s.nfree++
+}
+
+func (s *fileStore) backingBytes() int64 { return s.end }
+func (s *fileStore) freeExtents() int64  { return s.nfree }
+
+func (s *fileStore) physStats() Stats {
+	return Stats{Reads: s.physR.Load(), Writes: s.physW.Load()}
 }
 
 func (s *fileStore) read(f *File, i int, buf []Elem) (int, error) {
+	return s.readAhead(f, i, buf, 0)
+}
+
+func (s *fileStore) readAhead(f *File, i int, buf []Elem, ahead int) (int, error) {
 	n := f.blockLen(i)
 	if cap(buf) < n {
 		return 0, fmt.Errorf("%w: buffer cap %d < block len %d", ErrBlockSize, cap(buf), n)
 	}
-	raw := s.buf[:n*elemBytes]
+	if s.async != nil {
+		if err := s.drainFile(f); err != nil {
+			return 0, err
+		}
+		return s.pipelineRead(f, i, buf[:n], ahead)
+	}
+	raw := s.scratch[:s.pad(n*elemBytes)]
+	s.physR.Add(1)
 	if _, err := s.fd.ReadAt(raw, f.extents[i]); err != nil {
 		return 0, fmt.Errorf("emio: backing read: %w", err)
 	}
-	for j := 0; j < n; j++ {
-		buf[j].Key = int64(binary.LittleEndian.Uint64(raw[j*elemBytes:]))
-		buf[j].Aux = int64(binary.LittleEndian.Uint64(raw[j*elemBytes+8:]))
-	}
+	decodeElems(buf[:n], raw[:n*elemBytes], s.bulk)
 	return n, nil
 }
 
 func (s *fileStore) append(f *File, payload []Elem) error {
-	raw := s.buf[:len(payload)*elemBytes]
-	for j, e := range payload {
-		binary.LittleEndian.PutUint64(raw[j*elemBytes:], uint64(e.Key))
-		binary.LittleEndian.PutUint64(raw[j*elemBytes+8:], uint64(e.Aux))
+	nbytes := len(payload) * elemBytes
+	pn := s.pad(nbytes)
+	if s.async != nil {
+		// Surface an earlier asynchronous write failure of this file before
+		// accepting more data, so errors land at the next operation on the
+		// file rather than disappearing.
+		if err := s.fileError(f); err != nil {
+			return err
+		}
+		off := s.allocExtent(pn)
+		s.stageWrite(f, payload, off)
+		f.extents = append(f.extents, off)
+		return nil
 	}
-	if _, err := s.fd.WriteAt(raw, s.end); err != nil {
+	off := s.allocExtent(pn)
+	raw := s.scratch[:pn]
+	encodeElems(raw[:nbytes], payload, s.bulk)
+	clear(raw[nbytes:])
+	if err := s.physWrite(raw, off); err != nil {
+		s.freeExtent(off, pn)
 		return fmt.Errorf("emio: backing write: %w", err)
 	}
-	f.extents = append(f.extents, s.end)
-	s.end += int64(len(raw))
+	f.extents = append(f.extents, off)
 	return nil
 }
 
-func (s *fileStore) release(f *File) { f.extents = nil }
+// physWrite performs one positioned write, consulting the test-only physical
+// fault hook first (the hook models a device error below the write-behind
+// queue, unreachable through Disk.SetWriteFault which fires at enqueue time).
+func (s *fileStore) physWrite(raw []byte, off int64) error {
+	if s.async != nil && s.async.testWriteErr != nil {
+		if err := s.async.testWriteErr(off); err != nil {
+			return err
+		}
+	}
+	s.physW.Add(1)
+	_, err := s.fd.WriteAt(raw, off)
+	return err
+}
 
-func (s *fileStore) close() error { return s.fd.Close() }
+func (s *fileStore) release(f *File) {
+	if s.async != nil {
+		// Pending writes target extents about to be freed; wait them out so a
+		// later reuse of the extents cannot race a stale queued write, then
+		// discard any in-flight read-ahead for the file.
+		s.drainFileQuiet(f)
+		s.dropPrefetch(f)
+	}
+	for i, off := range f.extents {
+		s.freeExtent(off, s.extentBytes(f, i))
+	}
+	f.extents = nil
+}
+
+func (s *fileStore) syncFile(f *File) error {
+	if s.async == nil {
+		return nil
+	}
+	return s.drainFile(f)
+}
+
+func (s *fileStore) close() error {
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
+	var err error
+	if s.async != nil {
+		err = s.stopAsync()
+	}
+	if cerr := s.fd.Close(); err == nil {
+		err = cerr
+	}
+	s.closeErr = err
+	return err
+}

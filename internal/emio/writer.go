@@ -56,8 +56,10 @@ func (w *Writer) Flush() error {
 // Err returns the first I/O error encountered.
 func (w *Writer) Err() error { return w.err }
 
-// Close flushes and releases the block buffer. It is safe to call twice; the
-// first error encountered by the Writer is returned.
+// Close flushes, waits out any write-behind blocks of the file, and releases
+// the block buffer. It is safe to call twice; the first error encountered by
+// the Writer — including an asynchronous physical write failure — is
+// returned.
 func (w *Writer) Close() error {
 	if w.buf == nil {
 		return w.err
@@ -65,5 +67,11 @@ func (w *Writer) Close() error {
 	err := w.Flush()
 	w.ctx.FreeElems(w.buf)
 	w.buf = nil
+	if err == nil {
+		if serr := w.f.Sync(); serr != nil {
+			w.err = serr
+			err = serr
+		}
+	}
 	return err
 }

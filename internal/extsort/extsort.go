@@ -62,7 +62,7 @@ func FormRuns(ctx *emio.Ctx, in *emio.File) (runs []*emio.File, err error) {
 	for blk := 0; blk < nb; {
 		fill := 0
 		for blk < nb && fill+b <= runCap {
-			n, err := in.ReadBlock(blk, buf[fill:fill+b])
+			n, err := in.ReadBlockSequential(blk, buf[fill:fill+b])
 			if err != nil {
 				return nil, err
 			}
