@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench microbench table1 examples clean
+.PHONY: all build vet test test-short race check bench bench-compare microbench table1 examples clean
 
 all: build vet test
 
@@ -31,6 +31,12 @@ race:
 # O_DIRECT backing). Progress goes to stderr, the JSON to BENCH_pr3.json.
 bench:
 	$(GO) run ./cmd/embench -suite pr3 > BENCH_pr3.json
+
+# Regression gate: rerun the pr3 suite and diff it against the checked-in
+# baseline. Fails on any logical-I/O increase or >20% wall-clock growth;
+# rows the current host cannot measure (e.g. no O_DIRECT) are skipped.
+bench-compare:
+	$(GO) run ./cmd/embench -compare BENCH_pr3.json
 
 microbench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

@@ -1,0 +1,104 @@
+package main
+
+// Regression gate: `embench -compare BENCH_pr3.json` reruns the pr3
+// wall-clock suite and diffs every row against the checked-in baseline,
+// matching rows by (bench, n, pipeline, direct). Two regression classes:
+//
+//   - logical I/O: any increase in reads or writes is a failure. Logical
+//     counts are deterministic — the model's contract — so there is no noise
+//     tolerance to grant.
+//   - wall-clock: an increase beyond wallTolerance (20%) is a failure;
+//     wall time is best-of-reps and machine-dependent, so small drift is
+//     expected and only large regressions gate.
+//
+// Rows present on only one side are reported as skipped, never failed, so a
+// baseline recorded on a host without O_DIRECT still gates the buffered rows.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// wallTolerance is the acceptable relative wall-clock growth before a row
+// counts as a regression.
+const wallTolerance = 0.20
+
+type pr3Key struct {
+	Bench    string
+	N        int64
+	Pipeline bool
+	Direct   bool
+}
+
+func (k pr3Key) String() string {
+	mode := "buffered"
+	if k.Direct {
+		mode = "direct"
+	}
+	pipe := "off"
+	if k.Pipeline {
+		pipe = "on"
+	}
+	return fmt.Sprintf("%s/%s n=%d pipeline=%s", k.Bench, mode, k.N, pipe)
+}
+
+// loadBaseline reads a BENCH_pr3.json document.
+func loadBaseline(path string) (pr3Doc, error) {
+	var doc pr3Doc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if doc.Suite != "pr3" {
+		return doc, fmt.Errorf("baseline %s: suite %q, want pr3", path, doc.Suite)
+	}
+	return doc, nil
+}
+
+// compareDocs diffs current against baseline row by row, writing a report
+// line per comparison, and returns the number of regressions.
+func compareDocs(baseline, current pr3Doc, w io.Writer) int {
+	base := make(map[pr3Key]pr3Row, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[pr3Key{r.Bench, r.N, r.Pipeline, r.Direct}] = r
+	}
+	regressions, matched := 0, 0
+	seen := make(map[pr3Key]bool)
+	for _, cur := range current.Rows {
+		k := pr3Key{cur.Bench, cur.N, cur.Pipeline, cur.Direct}
+		seen[k] = true
+		old, ok := base[k]
+		if !ok {
+			fmt.Fprintf(w, "compare: SKIP %s (not in baseline)\n", k)
+			continue
+		}
+		matched++
+		wallDelta := float64(cur.WallNS-old.WallNS) / float64(old.WallNS)
+		switch {
+		case cur.Reads > old.Reads || cur.Writes > old.Writes:
+			regressions++
+			fmt.Fprintf(w, "compare: FAIL %s  logical I/O regressed: reads %d -> %d, writes %d -> %d\n",
+				k, old.Reads, cur.Reads, old.Writes, cur.Writes)
+		case wallDelta > wallTolerance:
+			regressions++
+			fmt.Fprintf(w, "compare: FAIL %s  wall-clock regressed %+.1f%% (%.2fms -> %.2fms, tolerance %.0f%%)\n",
+				k, 100*wallDelta, float64(old.WallNS)/1e6, float64(cur.WallNS)/1e6, 100*wallTolerance)
+		default:
+			fmt.Fprintf(w, "compare: ok   %s  wall %+.1f%%  ios %d -> %d\n",
+				k, 100*wallDelta, old.IOs, cur.IOs)
+		}
+	}
+	for _, r := range baseline.Rows {
+		k := pr3Key{r.Bench, r.N, r.Pipeline, r.Direct}
+		if !seen[k] {
+			fmt.Fprintf(w, "compare: SKIP %s (baseline row not measured this run)\n", k)
+		}
+	}
+	fmt.Fprintf(w, "compare: %d rows matched, %d regressions\n", matched, regressions)
+	return regressions
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkRow builds a pr3 row with the fields the comparator reads.
+func mkRow(bench string, n int64, pipeline bool, reads, writes, wallNS int64) pr3Row {
+	return pr3Row{
+		Bench: bench, N: n, Pipeline: pipeline,
+		Reads: reads, Writes: writes, IOs: reads + writes, WallNS: wallNS,
+	}
+}
+
+func mkDoc(rows ...pr3Row) pr3Doc {
+	var d pr3Doc
+	d.Suite = "pr3"
+	d.Rows = rows
+	return d
+}
+
+func TestCompareDocsPasses(t *testing.T) {
+	base := mkDoc(
+		mkRow("sort", 131072, false, 100, 100, 1_000_000),
+		mkRow("sort", 131072, true, 100, 100, 800_000),
+	)
+	// Identical I/O, wall within tolerance (+15% and -20%).
+	cur := mkDoc(
+		mkRow("sort", 131072, false, 100, 100, 1_150_000),
+		mkRow("sort", 131072, true, 100, 100, 640_000),
+	)
+	var out bytes.Buffer
+	if got := compareDocs(base, cur, &out); got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "2 rows matched, 0 regressions") {
+		t.Errorf("summary missing: %s", out.String())
+	}
+}
+
+func TestCompareDocsFailsOnLogicalIO(t *testing.T) {
+	base := mkDoc(mkRow("partition", 131072, false, 100, 100, 1_000_000))
+	// A single extra read is a failure — logical counts are deterministic,
+	// so there is no noise budget — even with wall-clock improved.
+	cur := mkDoc(mkRow("partition", 131072, false, 101, 100, 500_000))
+	var out bytes.Buffer
+	if got := compareDocs(base, cur, &out); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "logical I/O regressed") {
+		t.Errorf("report missing I/O failure: %s", out.String())
+	}
+}
+
+func TestCompareDocsFailsOnWallClock(t *testing.T) {
+	base := mkDoc(mkRow("splitters", 131072, true, 100, 100, 1_000_000))
+	cur := mkDoc(mkRow("splitters", 131072, true, 100, 100, 1_300_000)) // +30%
+	var out bytes.Buffer
+	if got := compareDocs(base, cur, &out); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "wall-clock regressed") {
+		t.Errorf("report missing wall failure: %s", out.String())
+	}
+}
+
+func TestCompareDocsSkipsUnmatchedRows(t *testing.T) {
+	baseDirect := mkRow("sort", 65536, false, 50, 50, 1_000_000)
+	baseDirect.Direct = true
+	base := mkDoc(mkRow("sort", 131072, false, 100, 100, 1_000_000), baseDirect)
+	// Current run measured a new size and skipped the direct sub-suite; both
+	// directions must be reported as SKIP, never as failures.
+	cur := mkDoc(
+		mkRow("sort", 131072, false, 100, 100, 1_000_000),
+		mkRow("sort", 262144, false, 200, 200, 2_000_000),
+	)
+	var out bytes.Buffer
+	if got := compareDocs(base, cur, &out); got != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", got, out.String())
+	}
+	rep := out.String()
+	if !strings.Contains(rep, "SKIP sort/buffered n=262144 pipeline=off (not in baseline)") {
+		t.Errorf("missing SKIP for new row: %s", rep)
+	}
+	if !strings.Contains(rep, "SKIP sort/direct n=65536 pipeline=off (baseline row not measured this run)") {
+		t.Errorf("missing SKIP for unmeasured baseline row: %s", rep)
+	}
+	if !strings.Contains(rep, "1 rows matched") {
+		t.Errorf("matched count wrong: %s", rep)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	doc := mkDoc(mkRow("sort", 1024, false, 1, 1, 1))
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0].Bench != "sort" {
+		t.Errorf("loaded doc wrong: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"suite":"pr2"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil || !strings.Contains(err.Error(), "want pr3") {
+		t.Errorf("wrong-suite baseline accepted: %v", err)
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}
+
+// TestCompareAgainstCheckedInBaselineKeys sanity-checks that the comparator's
+// key extraction matches the checked-in BENCH_pr3.json schema: comparing the
+// baseline against itself must match every row with zero regressions.
+func TestCompareAgainstCheckedInBaselineKeys(t *testing.T) {
+	doc, err := loadBaseline("../../BENCH_pr3.json")
+	if err != nil {
+		t.Skipf("baseline unavailable: %v", err)
+	}
+	var out bytes.Buffer
+	if got := compareDocs(doc, doc, &out); got != 0 {
+		t.Fatalf("self-compare regressions = %d\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "0 regressions") {
+		t.Errorf("summary missing: %s", out.String())
+	}
+}

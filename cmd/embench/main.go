@@ -32,6 +32,7 @@ import (
 
 	empart "repro"
 	"repro/internal/emio"
+	"repro/internal/emio/metrics"
 	"repro/internal/imcomp"
 	"repro/internal/intermix"
 	"repro/internal/workload"
@@ -50,8 +51,54 @@ var (
 	flagWB      = flag.Int("writebehind", 0, "write-behind queue depth in blocks; >0 enables the async pipeline (file-backed only)")
 	flagDirect  = flag.Bool("direct", false, "open backing files with O_DIRECT, bypassing the page cache (file-backed only)")
 	flagSuite   = flag.String("suite", "", "named suite: 'pr3' emits the wall-clock pipeline A/B JSON and exits")
+	flagCompare = flag.String("compare", "", "baseline BENCH_pr3.json: rerun the pr3 suite, diff against it, and exit nonzero on any logical-I/O or >20% wall-clock regression")
 	flagProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the benchmarks run")
+	flagProg    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 )
+
+// telReg, when non-nil, is the shared metrics registry every benchmark System
+// attaches to, so one scrape endpoint watches the whole sweep (registration
+// is idempotent; counters accumulate across systems).
+var telReg *metrics.Registry
+
+// startTelemetry arms telReg and the opt-in scrape endpoint and progress
+// reporter; the returned stop function flushes and shuts them down.
+func startTelemetry() (func(), error) {
+	if *flagMetrics == "" && *flagProg == 0 {
+		return func() {}, nil
+	}
+	telReg = metrics.New()
+	var srv *metrics.Server
+	if *flagMetrics != "" {
+		var err error
+		srv, err = metrics.Serve(*flagMetrics, telReg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "embench: metrics on %s\n", srv.URL())
+	}
+	var rep *metrics.Reporter
+	if *flagProg > 0 {
+		reg := telReg
+		rep = metrics.StartProgress(os.Stderr, *flagProg, func() metrics.Progress {
+			snap := reg.Snapshot()
+			return metrics.Progress{
+				Phase: snap.Infos["empart_phase"],
+				Done:  snap.Counter("empart_logical_reads_total") + snap.Counter("empart_logical_writes_total"),
+				Unit:  "ios",
+			}
+		})
+	}
+	return func() {
+		if rep != nil {
+			rep.Stop()
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}, nil
+}
 
 type row struct {
 	Section   string  `json:"section,omitempty"`
@@ -84,6 +131,9 @@ var diskSeq int
 func newSystem(cfg empart.Config) (*empart.System, func(), error) {
 	if *flagBacking == "" {
 		sys, err := empart.New(cfg)
+		if err == nil && telReg != nil {
+			sys.SetMetrics(telReg)
+		}
 		return sys, func() {}, err
 	}
 	diskSeq++
@@ -92,6 +142,9 @@ func newSystem(cfg empart.Config) (*empart.System, func(), error) {
 	sys, err := empart.NewFileBacked(cfg, path)
 	if err != nil {
 		return nil, nil, err
+	}
+	if telReg != nil {
+		sys.SetMetrics(telReg)
 	}
 	return sys, func() {
 		sys.Close()
@@ -124,6 +177,26 @@ func main() {
 			log.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	stopTelemetry, err := startTelemetry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopTelemetry()
+	if *flagCompare != "" {
+		baseline, err := loadBaseline(*flagCompare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, err := runPR3Doc()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := compareDocs(baseline, doc, os.Stderr); n > 0 {
+			stopTelemetry()
+			os.Exit(1)
+		}
+		return
 	}
 	if *flagSuite != "" {
 		if *flagSuite != "pr3" {
@@ -678,10 +751,25 @@ type pr3Doc struct {
 	Rows []pr3Row `json:"rows"`
 }
 
+// runPR3 runs the suite and encodes the document to w.
 func runPR3(w io.Writer) error {
-	dir, err := os.MkdirTemp("", "embench-pr3-")
+	doc, err := runPR3Doc()
 	if err != nil {
 		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// runPR3Doc measures the full pr3 suite and returns the document, so the
+// -compare regression gate can diff it against a checked-in baseline without
+// round-tripping through JSON.
+func runPR3Doc() (pr3Doc, error) {
+	var doc pr3Doc
+	dir, err := os.MkdirTemp("", "embench-pr3-")
+	if err != nil {
+		return doc, err
 	}
 	defer os.RemoveAll(dir)
 
@@ -747,6 +835,9 @@ func runPR3(w io.Writer) error {
 			if err != nil {
 				return pr3Row{}, err
 			}
+			if telReg != nil {
+				sys.SetMetrics(telReg)
+			}
 			f := sys.Stage(workload.Elems(workload.Uniform, int(n), cfg.B, 0x9423))
 			sys.ResetStats()
 			pre := sys.PhysStats()
@@ -781,7 +872,6 @@ func runPR3(w io.Writer) error {
 		return r, nil
 	}
 
-	var doc pr3Doc
 	doc.Suite = "pr3"
 	norm := pipe
 	if norm.PrefetchDepth == 0 {
@@ -821,7 +911,7 @@ func runPR3(w io.Writer) error {
 	for _, b := range benches {
 		for _, n := range sizes {
 			if err := abPair(b, n, false); err != nil {
-				return err
+				return doc, err
 			}
 		}
 	}
@@ -833,16 +923,14 @@ func runPR3(w io.Writer) error {
 		for _, b := range benches {
 			for _, n := range directSizes {
 				if err := abPair(b, n, true); err != nil {
-					return err
+					return doc, err
 				}
 			}
 		}
 	} else {
 		fmt.Fprintln(os.Stderr, "pr3: O_DIRECT unsupported here; skipping the direct sub-suite")
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc, nil
 }
 
 // wallCols2 is wallCols for pr3 rows.

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	emsort [-m 4096] [-b 32] [-in keys.txt] [-out sorted.txt]
+//	emsort -metrics-addr :9090 -progress 2s -in big.txt -out sorted.txt
 //	seq 100000 | shuf | emsort > sorted.txt
+//
+// With -metrics-addr the job serves live Prometheus metrics and pprof while
+// it runs; with -progress it streams phase/ETA lines to the report stream.
 package main
 
 import (
@@ -17,10 +21,12 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"time"
 
 	"flag"
 
 	empart "repro"
+	"repro/internal/emio/metrics"
 	"repro/internal/verify"
 )
 
@@ -31,7 +37,18 @@ var (
 	flagOut     = flag.String("out", "", "output file (default stdout)")
 	flagBacking = flag.String("backing", "", "path for a real backing file for the simulated disk (default: in-memory)")
 	flagTrace   = flag.Bool("trace", false, "print a phase trace (span tree with I/O attribution) to the report stream")
+	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
+	flagProg    = flag.Duration("progress", 0, "print a progress/ETA line to the report stream at this interval (0 = off)")
 )
+
+// runOpts carries one emsort invocation.
+type runOpts struct {
+	cfg         empart.Config
+	backing     string
+	trace       bool
+	metricsAddr string
+	progress    time.Duration
+}
 
 func main() {
 	log.SetFlags(0)
@@ -56,24 +73,74 @@ func main() {
 		defer g.Close()
 		dst = g
 	}
-	if err := run(empart.Config{M: *flagM, B: *flagB}, *flagBacking, *flagTrace, in, dst, os.Stderr); err != nil {
+	o := runOpts{
+		cfg:         empart.Config{M: *flagM, B: *flagB},
+		backing:     *flagBacking,
+		trace:       *flagTrace,
+		metricsAddr: *flagMetrics,
+		progress:    *flagProg,
+	}
+	if err := run(o, in, dst, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// startTelemetry attaches a metrics registry to sys and starts the opt-in
+// observers: the HTTP scrape endpoint (o.metricsAddr) and the periodic
+// progress reporter (o.progress), which estimates completion against
+// totalIOs, the paper-model I/O bound for the job. The returned stop
+// function flushes the final progress line and shuts the endpoint down.
+func startTelemetry(sys *empart.System, o runOpts, totalIOs int64, report io.Writer) (func(), error) {
+	if o.metricsAddr == "" && o.progress == 0 {
+		return func() {}, nil
+	}
+	reg := sys.EnableMetrics()
+	var srv *metrics.Server
+	if o.metricsAddr != "" {
+		var err error
+		srv, err = metrics.Serve(o.metricsAddr, reg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(report, "emsort: metrics on %s\n", srv.URL())
+	}
+	var rep *metrics.Reporter
+	if o.progress > 0 {
+		rep = metrics.StartProgress(report, o.progress, func() metrics.Progress {
+			// Sampled on the reporter goroutine: read only the registry's
+			// atomic instruments, never the Disk's unsynchronized counters.
+			snap := reg.Snapshot()
+			return metrics.Progress{
+				Phase: snap.Infos["empart_phase"],
+				Done:  snap.Counter("empart_logical_reads_total") + snap.Counter("empart_logical_writes_total"),
+				Total: totalIOs,
+				Unit:  "ios",
+			}
+		})
+	}
+	return func() {
+		if rep != nil {
+			rep.Stop()
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}, nil
+}
+
 // run reads integers from in, sorts them on an EM machine of the given
-// configuration (optionally file-backed at backing), writes the sorted keys
-// to dst and an I/O report (plus a phase trace when trace is set) to report.
-func run(cfg empart.Config, backing string, trace bool, in io.Reader, dst, report io.Writer) error {
+// configuration (optionally file-backed), writes the sorted keys to dst and
+// an I/O report (plus a phase trace when requested) to report.
+func run(o runOpts, in io.Reader, dst, report io.Writer) error {
 	elems, err := parseKeys(in)
 	if err != nil {
 		return err
 	}
 	var sys *empart.System
-	if backing != "" {
-		sys, err = empart.NewFileBacked(cfg, backing)
+	if o.backing != "" {
+		sys, err = empart.NewFileBacked(o.cfg, o.backing)
 	} else {
-		sys, err = empart.New(cfg)
+		sys, err = empart.New(o.cfg)
 	}
 	if err != nil {
 		return err
@@ -81,10 +148,17 @@ func run(cfg empart.Config, backing string, trace bool, in io.Reader, dst, repor
 	defer sys.Close()
 	f := sys.Stage(elems)
 	sys.ResetStats()
-	if trace {
+	if o.trace {
 		sys.EnableTracing()
 	}
+	n := int64(len(elems))
+	mc := sys.Machine()
+	stopTelemetry, err := startTelemetry(sys, o, int64(mc.Sort(n)), report)
+	if err != nil {
+		return err
+	}
 	out, err := sys.Sort(f)
+	stopTelemetry()
 	if err != nil {
 		return err
 	}
@@ -99,12 +173,10 @@ func run(cfg empart.Config, backing string, trace bool, in io.Reader, dst, repor
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	n := int64(len(elems))
 	st := sys.Stats()
-	mc := sys.Machine()
 	fmt.Fprintf(report, "emsort: N=%d M=%d B=%d  cost %v  bound %.0f  floor %.0f\n",
-		n, cfg.M, cfg.B, st, mc.Sort(n), mc.SortFloor(n))
-	if trace {
+		n, o.cfg.M, o.cfg.B, st, mc.Sort(n), mc.SortFloor(n))
+	if o.trace {
 		fmt.Fprintf(report, "phase trace:\n%s", sys.TraceReport())
 	}
 	return nil

@@ -16,10 +16,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
+	"time"
 
 	empart "repro"
+	"repro/internal/emio/metrics"
 	"repro/internal/verify"
 	"repro/internal/workload"
 )
@@ -36,7 +40,9 @@ var (
 	flagSeed  = flag.Uint64("seed", 1, "workload seed")
 	flagLo    = flag.Float64("lo", 0, "histogram: relative slack below N/K")
 	flagHi    = flag.Float64("hi", 0, "histogram: relative slack above N/K")
-	flagTrace = flag.Bool("trace", false, "append a phase trace (span tree with I/O and memory attribution) to the report")
+	flagTrace   = flag.Bool("trace", false, "append a phase trace (span tree with I/O and memory attribution) to the report")
+	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
+	flagProg    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 )
 
 // options carries one emsplit invocation.
@@ -50,6 +56,10 @@ type options struct {
 	seed   uint64
 	lo, hi float64
 	trace  bool
+
+	metricsAddr string
+	progress    time.Duration
+	progressOut io.Writer // progress/telemetry stream (main: stderr)
 }
 
 func main() {
@@ -60,7 +70,8 @@ func main() {
 		algo: *flagAlgo, n: *flagN, m: *flagM, b: *flagB,
 		k: *flagK, a: *flagA, bmax: *flagBMax,
 		dist: *flagDist, seed: *flagSeed, lo: *flagLo, hi: *flagHi,
-		trace: *flagTrace,
+		trace:       *flagTrace,
+		metricsAddr: *flagMetrics, progress: *flagProg, progressOut: os.Stderr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -94,6 +105,11 @@ func execute(o options) (string, error) {
 	if o.trace {
 		sys.EnableTracing()
 	}
+	stopTelemetry, err := startTelemetry(sys, o)
+	if err != nil {
+		return "", err
+	}
+	defer stopTelemetry()
 	var bound float64
 	switch o.algo {
 	case "splitters":
@@ -191,6 +207,49 @@ func execute(o options) (string, error) {
 		fmt.Fprintf(&sb, "\nphase trace:\n%s", sys.TraceReport())
 	}
 	return sb.String(), nil
+}
+
+// startTelemetry attaches a metrics registry and starts the opt-in scrape
+// endpoint and progress reporter. The total I/O count of most emsplit algos
+// is not known upfront, so progress lines stream phase, work done and rate
+// without an ETA. The returned stop function is safe to call once.
+func startTelemetry(sys *empart.System, o options) (func(), error) {
+	if o.metricsAddr == "" && o.progress == 0 {
+		return func() {}, nil
+	}
+	out := o.progressOut
+	if out == nil {
+		out = os.Stderr
+	}
+	reg := sys.EnableMetrics()
+	var srv *metrics.Server
+	if o.metricsAddr != "" {
+		var err error
+		srv, err = metrics.Serve(o.metricsAddr, reg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "emsplit: metrics on %s\n", srv.URL())
+	}
+	var rep *metrics.Reporter
+	if o.progress > 0 {
+		rep = metrics.StartProgress(out, o.progress, func() metrics.Progress {
+			snap := reg.Snapshot()
+			return metrics.Progress{
+				Phase: snap.Infos["empart_phase"],
+				Done:  snap.Counter("empart_logical_reads_total") + snap.Counter("empart_logical_writes_total"),
+				Unit:  "ios",
+			}
+		})
+	}
+	return func() {
+		if rep != nil {
+			rep.Stop()
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}, nil
 }
 
 func equiRanks(n, k int64) []int64 {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"time"
+
 	"strings"
 	"testing"
 )
@@ -68,5 +71,27 @@ func TestExecuteRejections(t *testing.T) {
 	o.k = 3 // does not divide n
 	if _, err := execute(o); err == nil {
 		t.Error("invalid K accepted")
+	}
+}
+
+func TestExecuteWithTelemetry(t *testing.T) {
+	var telemetry bytes.Buffer
+	o := base()
+	o.metricsAddr = "127.0.0.1:0"
+	o.progress = time.Hour // only the final Stop line fires deterministically
+	o.progressOut = &telemetry
+	report, err := execute(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "verified") {
+		t.Errorf("report lacks verification line: %q", report)
+	}
+	got := telemetry.String()
+	if !strings.Contains(got, "metrics on http://") {
+		t.Errorf("telemetry %q missing metrics URL", got)
+	}
+	if !strings.Contains(got, "progress: ") || !strings.Contains(got, "ios") {
+		t.Errorf("telemetry %q missing progress line", got)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distsort"
 	"repro/internal/emio"
+	"repro/internal/emio/metrics"
 	"repro/internal/emsel"
 	"repro/internal/extsort"
 	"repro/internal/histogram"
@@ -76,6 +77,12 @@ type (
 	Tracer = emio.Tracer
 	// Span is one node of the trace tree: a named phase with counters.
 	Span = emio.Span
+	// MetricsRegistry holds live telemetry instruments (counters, gauges,
+	// latency histograms). Attach one with System.SetMetrics; serve it with
+	// metrics.Serve or scrape it with Registry.WritePrometheus.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric on a registry.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Re-exported variant constants.
@@ -215,6 +222,46 @@ func (s *System) TraceJSON() ([]byte, error) {
 		return nil, nil
 	}
 	return t.JSON()
+}
+
+// NewMetricsRegistry creates an empty metrics registry, for sharing one
+// scrape endpoint across several Systems (instrument registration is
+// idempotent by name; counters then accumulate across systems).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// SetMetrics attaches live telemetry instruments registered on reg to the
+// system's I/O hot paths: logical and physical transfer counters with latency
+// histograms, queue-depth / footprint / phase gauges, prefetch and
+// extent-reuse counters (all under the empart_ prefix). Like the tracer,
+// metrics are strictly observational — logical Stats, trace JSON and all
+// outputs are bit-identical with metrics on or off (the metrics parity suite
+// proves it). Enable before the algorithm runs; nil detaches.
+func (s *System) SetMetrics(reg *MetricsRegistry) { s.ctx.Disk().EnableMetrics(reg) }
+
+// EnableMetrics attaches a fresh registry and returns it: shorthand for
+// reg := NewMetricsRegistry(); s.SetMetrics(reg).
+func (s *System) EnableMetrics() *MetricsRegistry {
+	reg := metrics.New()
+	s.ctx.Disk().EnableMetrics(reg)
+	return reg
+}
+
+// MetricsRegistry returns the attached registry, or nil when metrics are
+// disabled.
+func (s *System) MetricsRegistry() *MetricsRegistry {
+	if m := s.ctx.Disk().Metrics(); m != nil {
+		return m.Registry()
+	}
+	return nil
+}
+
+// Metrics captures a point-in-time snapshot of every metric on the attached
+// registry. The zero Snapshot is returned when metrics are disabled.
+func (s *System) Metrics() MetricsSnapshot {
+	if m := s.ctx.Disk().Metrics(); m != nil {
+		return m.Snapshot()
+	}
+	return MetricsSnapshot{}
 }
 
 // LiveFiles returns the names of all files currently live on the simulated

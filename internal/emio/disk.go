@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+
+	"repro/internal/emio/metrics"
 )
 
 // Disk is a simulated block device. It stores files as slices of blocks,
@@ -43,6 +45,11 @@ type Disk struct {
 	// scratch-leak detector and the tracer's file-attribution columns.
 	liveFiles   map[*File]struct{}
 	liveScratch int
+
+	// Live-metrics instruments; nil when metrics are disabled (the fast
+	// path: one nil check per recording site). Strictly observational —
+	// never touches stats, fault hooks or the store's logical state.
+	iom *IOMetrics
 }
 
 // ErrReleased is returned when accessing a File whose storage was released.
@@ -116,6 +123,37 @@ func (d *Disk) PhysStats() Stats {
 	return Stats{}
 }
 
+// EnableMetrics attaches live telemetry instruments registered on reg to
+// the disk's hot paths: logical and physical transfer counters, latency
+// histograms, queue-depth and footprint gauges, prefetch and extent-reuse
+// counters. Several disks may share one registry; counters then accumulate
+// across them. Like the tracer, metrics are strictly observational: logical
+// Stats, trace JSON, fault-hook order and all outputs are bit-identical with
+// metrics on or off. Enable before the hot loops start; nil detaches.
+func (d *Disk) EnableMetrics(reg *metrics.Registry) *IOMetrics {
+	if reg == nil {
+		d.iom = nil
+		if ms, ok := d.store.(metricsSink); ok {
+			ms.setMetrics(nil)
+		}
+		return nil
+	}
+	m := newIOMetrics(reg)
+	d.iom = m
+	if ms, ok := d.store.(metricsSink); ok {
+		ms.setMetrics(m)
+	}
+	// Seed the footprint gauges so a scrape right after enabling sees the
+	// current state rather than zeros.
+	m.liveBlocks.Set(d.liveBlocks)
+	m.liveScratch.Set(int64(d.liveScratch))
+	m.backingBytes.Set(d.BackingBytes())
+	return m
+}
+
+// Metrics returns the live instrument bundle, nil when metrics are disabled.
+func (d *Disk) Metrics() *IOMetrics { return d.iom }
+
 // Close releases backend resources (the backing file for file-backed disks;
 // a no-op for memory-backed ones).
 func (d *Disk) Close() error { return d.store.close() }
@@ -154,9 +192,17 @@ func (d *Disk) noteAlloc(blocks int64) {
 	if d.liveBlocks > d.peakLive {
 		d.peakLive = d.liveBlocks
 	}
+	if d.iom != nil {
+		d.iom.liveBlocks.Set(d.liveBlocks)
+	}
 }
 
-func (d *Disk) noteFree(blocks int64) { d.liveBlocks -= blocks }
+func (d *Disk) noteFree(blocks int64) {
+	d.liveBlocks -= blocks
+	if d.iom != nil {
+		d.iom.liveBlocks.Set(d.liveBlocks)
+	}
+}
 
 // TrackReads starts recording which distinct blocks of f are read. Used by
 // the adversary-argument tests: an algorithm that has read r blocks of the
@@ -202,6 +248,9 @@ func (d *Disk) NewFile(name string) *File {
 func (d *Disk) markScratch(f *File) {
 	f.scratch = true
 	d.liveScratch++
+	if d.iom != nil {
+		d.iom.liveScratch.Set(int64(d.liveScratch))
+	}
 }
 
 // noteRelease removes a file from the live registry (called by File.Release).
@@ -209,6 +258,9 @@ func (d *Disk) noteRelease(f *File) {
 	delete(d.liveFiles, f)
 	if f.scratch {
 		d.liveScratch--
+		if d.iom != nil {
+			d.iom.liveScratch.Set(int64(d.liveScratch))
+		}
 	}
 }
 

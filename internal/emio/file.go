@@ -3,6 +3,7 @@ package emio
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // File is a sequence of elements stored on a Disk in blocks of B elements.
@@ -112,6 +113,12 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 			return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
 		}
 	}
+	m := f.disk.iom
+	var t0 time.Time
+	if m != nil {
+		m.logReads.Inc()
+		t0 = time.Now()
+	}
 	var (
 		n   int
 		err error
@@ -120,6 +127,9 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 		n, err = ar.readAhead(f, i, buf, ahead)
 	} else {
 		n, err = f.disk.store.read(f, i, buf)
+	}
+	if m != nil {
+		m.logReadNS.Observe(int64(time.Since(t0)))
 	}
 	if err != nil {
 		return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
@@ -160,7 +170,17 @@ func (f *File) AppendBlock(payload []Elem) error {
 			return fmt.Errorf("emio: write %s block %d: %w", f.name, f.nblocks, err)
 		}
 	}
-	if err := f.disk.store.append(f, payload); err != nil {
+	m := f.disk.iom
+	var t0 time.Time
+	if m != nil {
+		m.logWrites.Inc()
+		t0 = time.Now()
+	}
+	err := f.disk.store.append(f, payload)
+	if m != nil {
+		m.logWriteNS.Observe(int64(time.Since(t0)))
+	}
+	if err != nil {
 		return fmt.Errorf("emio: write %s block %d: %w", f.name, f.nblocks, err)
 	}
 	f.nblocks++

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics         Prometheus text exposition
+//	/debug/pprof/*   the standard Go profiling endpoints
+//
+// The pprof routes are wired explicitly (not via the net/http/pprof
+// DefaultServeMux side effect) so embedding the handler in a larger mux
+// never leaks profiling endpoints onto other servers.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running scrape endpoint. Close it when the job finishes.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for the registry on addr (host:port; port 0
+// picks a free port). It returns once the listener is bound, so a following
+// scrape cannot race the bind; request handling runs in the background.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the scrape URL of the /metrics endpoint.
+func (s *Server) URL() string { return "http://" + s.Addr() + "/metrics" }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

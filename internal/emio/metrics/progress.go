@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is one sample of a long-running job, produced by the caller's
+// sample function: how much work is done (in the caller's unit — elements,
+// block I/Os), the predicted total (0 when unknown), and the phase the
+// algorithm is currently in.
+type Progress struct {
+	Phase string
+	Done  int64
+	Total int64  // predicted; 0 disables percentage and ETA
+	Unit  string // e.g. "elems", "ios" (printed after the numbers)
+}
+
+// Reporter periodically samples a job and streams one-line progress reports:
+//
+//	progress: 12.6M/33.6M ios (37.5%) phase=extsort/merge rate=1.8M/s eta=12s
+//
+// The sample function runs on the reporter's goroutine, so it must read only
+// concurrency-safe state — the metrics registry's atomic instruments, never
+// the Disk's unsynchronized logical counters.
+type Reporter struct {
+	w      io.Writer
+	fn     func() Progress
+	start  time.Time
+	stop   chan struct{}
+	done   chan struct{}
+	mu     sync.Mutex // serializes line writes with the final Stop line
+	closed bool
+}
+
+// StartProgress launches a reporter printing to w every interval. Stop it
+// when the job completes; Stop prints a final 100%-state line.
+func StartProgress(w io.Writer, interval time.Duration, fn func() Progress) *Reporter {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	r := &Reporter{
+		w:     w,
+		fn:    fn,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go r.loop(interval)
+	return r
+}
+
+func (r *Reporter) loop(interval time.Duration) {
+	defer close(r.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.emit(r.fn())
+		}
+	}
+}
+
+// Stop halts the ticker and prints one final sample line.
+func (r *Reporter) Stop() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+	r.emit(r.fn())
+}
+
+func (r *Reporter) emit(p Progress) {
+	elapsed := time.Since(r.start)
+	line := fmt.Sprintf("progress: %s", humanCount(p.Done))
+	if p.Total > 0 {
+		line += "/" + humanCount(p.Total)
+	}
+	if p.Unit != "" {
+		line += " " + p.Unit
+	}
+	if p.Total > 0 {
+		line += fmt.Sprintf(" (%.1f%%)", 100*float64(p.Done)/float64(p.Total))
+	}
+	if p.Phase != "" {
+		line += " phase=" + p.Phase
+	}
+	if sec := elapsed.Seconds(); sec > 0 && p.Done > 0 {
+		rate := float64(p.Done) / sec
+		line += fmt.Sprintf(" rate=%s/s", humanCount(int64(rate)))
+		if p.Total > p.Done {
+			eta := time.Duration(float64(p.Total-p.Done) / rate * float64(time.Second))
+			line += " eta=" + eta.Round(time.Second).String()
+		}
+	}
+	line += fmt.Sprintf(" elapsed=%s", elapsed.Round(time.Second))
+	r.mu.Lock()
+	fmt.Fprintln(r.w, line)
+	r.mu.Unlock()
+}
+
+// humanCount renders 1234567 as "1.2M".
+func humanCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -32,6 +32,7 @@ package emio
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // batchOp locates one encoded block inside a writeBatch: nbytes of payload
@@ -195,6 +196,9 @@ func (s *fileStore) stageWrite(f *File, payload []Elem, off int64) {
 	a.mu.Lock()
 	a.pending[f]++
 	a.mu.Unlock()
+	if sm := s.sm.Load(); sm != nil {
+		sm.queueDepth.Add(1)
+	}
 	if len(b.ops) >= s.pipe.QueueDepth {
 		s.flushCur()
 	}
@@ -237,6 +241,9 @@ func (s *fileStore) flushBatch(b *writeBatch) {
 			end++
 		}
 		err := s.physWrite(b.buf[pos:pos+nb], b.ops[start].off)
+		if sm := s.sm.Load(); sm != nil && err == nil {
+			sm.writeRunBlocks.Observe(int64(end - start))
+		}
 		s.completeOps(b.ops[start:end], err)
 		pos += nb
 		start = end
@@ -244,16 +251,17 @@ func (s *fileStore) flushBatch(b *writeBatch) {
 }
 
 // completeOps retires written (or failed) ops: records errors, decrements
-// pending counts and wakes waiters.
+// pending counts and wakes waiters. A failure is wrapped per op, naming the
+// file and its backing offset, so a sticky error surfacing much later — at
+// the next operation, Writer.Close or Disk.Close — still identifies exactly
+// which write was lost.
 func (s *fileStore) completeOps(ops []batchOp, err error) {
 	a := s.async
-	var wrapped error
-	if err != nil {
-		wrapped = fmt.Errorf("emio: backing write: %w", err)
-	}
 	a.mu.Lock()
 	for _, op := range ops {
-		if wrapped != nil {
+		if err != nil {
+			wrapped := fmt.Errorf("emio: backing write %s at offset %d: %w",
+				op.f.name, op.off, err)
 			if a.fileErr[op.f] == nil {
 				a.fileErr[op.f] = wrapped
 			}
@@ -268,6 +276,9 @@ func (s *fileStore) completeOps(ops []batchOp, err error) {
 	}
 	a.cond.Broadcast()
 	a.mu.Unlock()
+	if sm := s.sm.Load(); sm != nil {
+		sm.queueDepth.Add(-int64(len(ops)))
+	}
 }
 
 // drainFile blocks until every pending write of f has completed and returns
@@ -344,6 +355,9 @@ func (s *fileStore) pipelineRead(f *File, i int, dst []Elem, ahead int) (int, er
 	if ps := a.pf[f]; ps != nil && ps.covers(i) {
 		<-ps.done
 		if ps.err == nil {
+			if sm := s.sm.Load(); sm != nil {
+				sm.prefetchHits.Inc()
+			}
 			off := int(f.extents[i] - ps.startOff)
 			decodeElems(dst, ps.buf[off:off+len(dst)*elemBytes], s.bulk)
 			if ahead > 0 && ps.next == nil {
@@ -363,9 +377,22 @@ func (s *fileStore) pipelineRead(f *File, i int, dst []Elem, ahead int) (int, er
 		// transient staging failure reports exactly like a synchronous one.
 		s.dropPrefetch(f)
 	}
+	sm := s.sm.Load()
+	if sm != nil {
+		sm.prefetchMisses.Inc()
+	}
 	raw := s.scratch[:s.pad(len(dst)*elemBytes)]
 	s.physR.Add(1)
-	if _, err := s.fd.ReadAt(raw, f.extents[i]); err != nil {
+	var t0 time.Time
+	if sm != nil {
+		t0 = time.Now()
+	}
+	_, err := s.fd.ReadAt(raw, f.extents[i])
+	if sm != nil {
+		sm.physReads.Inc()
+		sm.physReadNS.Observe(int64(time.Since(t0)))
+	}
+	if err != nil {
 		return 0, fmt.Errorf("emio: backing read: %w", err)
 	}
 	decodeElems(dst, raw[:len(dst)*elemBytes], s.bulk)
@@ -414,7 +441,19 @@ func (s *fileStore) startPrefetch(f *File, from, maxBlocks int) *prefetchState {
 	}
 	go func() {
 		s.physR.Add(1)
+		sm := s.sm.Load()
+		var t0 time.Time
+		if sm != nil {
+			t0 = time.Now()
+		}
 		_, err := s.fd.ReadAt(ps.buf[:ps.nbytes], ps.startOff)
+		if sm != nil {
+			sm.prefReads.Inc()
+			sm.prefReadNS.Observe(int64(time.Since(t0)))
+			if err == nil {
+				sm.readRunBlocks.Observe(int64(ps.count))
+			}
+		}
 		ps.err = err
 		close(ps.done)
 	}()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -357,6 +358,47 @@ func TestAsyncWriteErrorSurfacesAtNextOpAndClose(t *testing.T) {
 			t.Fatalf("Disk.Close error = %v, want the device error", err)
 		}
 	})
+}
+
+func TestAsyncWriteErrorNamesFileAndOffset(t *testing.T) {
+	// A sticky physical write error can surface long after the enqueue — at
+	// Disk.Close, an operator's only remaining context. The wrapped error must
+	// therefore name the failing file and its backing byte offset.
+	errDevice := errors.New("device error")
+	d, err := NewFileBackedDiskPipeline(
+		filepath.Join(t.TempDir(), "err.dat"), 8, Pipeline{Enabled: true, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const failAt = int64(2 * 8 * elemBytes) // third block's extent
+	st := d.store.(*fileStore)
+	st.async.testWriteErr = func(off int64) error {
+		if off == failAt {
+			return errDevice
+		}
+		return nil
+	}
+	ctx, err := NewCtxWithDisk(Config{M: 64, B: 8}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ctx.Scratch("sticky")
+	for i := 0; i < 4; i++ {
+		if err := f.AppendBlock(seqElems(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cerr := d.Close()
+	if !errors.Is(cerr, errDevice) {
+		t.Fatalf("Disk.Close error = %v, want the device error", cerr)
+	}
+	msg := cerr.Error()
+	if !strings.Contains(msg, f.Name()) {
+		t.Errorf("Close error %q does not name the failing file %q", msg, f.Name())
+	}
+	if !strings.Contains(msg, fmt.Sprintf("offset %d", failAt)) {
+		t.Errorf("Close error %q does not name the failing offset %d", msg, failAt)
+	}
 }
 
 func TestPipelineStatsMatchSynchronous(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+	"time"
 )
 
 // blockStore is the storage backend of a Disk. The default store keeps
@@ -48,6 +49,11 @@ type (
 	// below the logical Stats by the coalescing factor.
 	physCounter interface {
 		physStats() Stats
+	}
+	// metricsSink is implemented by stores with physical-layer telemetry;
+	// setMetrics attaches (or, with nil, detaches) the live instruments.
+	metricsSink interface {
+		setMetrics(m *IOMetrics)
 	}
 )
 
@@ -120,12 +126,18 @@ type fileStore struct {
 	bulk    bool   // zero-copy bulk marshalling enabled (pipeline on)
 	direct  bool   // O_DIRECT backing: transfers padded to directAlign
 
-	free     map[int]*extentQueue // released extents keyed by byte length
-	nfree    int64                // number of extents on the free list
-	physR    atomic.Int64         // positioned reads issued (incl. prefetch goroutines)
-	physW    atomic.Int64         // positioned writes issued (incl. the write worker)
-	pipe     Pipeline             // normalized pipeline configuration
-	async    *asyncState          // write-behind + prefetch machinery, nil when disabled
+	free  map[int]*extentQueue // released extents keyed by byte length
+	nfree int64                // number of extents on the free list
+	physR atomic.Int64         // positioned reads issued (incl. prefetch goroutines)
+	physW atomic.Int64         // positioned writes issued (incl. the write worker)
+	pipe  Pipeline             // normalized pipeline configuration
+	async *asyncState          // write-behind + prefetch machinery, nil when disabled
+	// sm holds the physical-layer telemetry handles, nil when metrics are
+	// disabled. An atomic pointer because the write worker and prefetch
+	// goroutines read it while EnableMetrics may store it from the algorithm
+	// goroutine; recordings racing the attach itself may be missed, which is
+	// fine — metrics are strictly observational.
+	sm       atomic.Pointer[storeMetrics]
 	closed   bool
 	closeErr error
 }
@@ -186,11 +198,17 @@ func (s *fileStore) allocExtent(nbytes int) int64 {
 	if q := s.free[nbytes]; q != nil {
 		if off, ok := q.pop(); ok {
 			s.nfree--
+			if sm := s.sm.Load(); sm != nil {
+				sm.extentReuses.Inc()
+			}
 			return off
 		}
 	}
 	off := s.end
 	s.end += int64(nbytes)
+	if sm := s.sm.Load(); sm != nil {
+		sm.backingBytes.Set(s.end)
+	}
 	return off
 }
 
@@ -203,10 +221,21 @@ func (s *fileStore) freeExtent(off int64, nbytes int) {
 	}
 	q.push(off)
 	s.nfree++
+	if sm := s.sm.Load(); sm != nil {
+		sm.extentFrees.Inc()
+	}
 }
 
 func (s *fileStore) backingBytes() int64 { return s.end }
 func (s *fileStore) freeExtents() int64  { return s.nfree }
+
+func (s *fileStore) setMetrics(m *IOMetrics) {
+	if m == nil {
+		s.sm.Store(nil)
+		return
+	}
+	s.sm.Store(newStoreMetrics(m))
+}
 
 func (s *fileStore) physStats() Stats {
 	return Stats{Reads: s.physR.Load(), Writes: s.physW.Load()}
@@ -229,7 +258,17 @@ func (s *fileStore) readAhead(f *File, i int, buf []Elem, ahead int) (int, error
 	}
 	raw := s.scratch[:s.pad(n*elemBytes)]
 	s.physR.Add(1)
-	if _, err := s.fd.ReadAt(raw, f.extents[i]); err != nil {
+	sm := s.sm.Load()
+	var t0 time.Time
+	if sm != nil {
+		t0 = time.Now()
+	}
+	_, err := s.fd.ReadAt(raw, f.extents[i])
+	if sm != nil {
+		sm.physReads.Inc()
+		sm.physReadNS.Observe(int64(time.Since(t0)))
+	}
+	if err != nil {
 		return 0, fmt.Errorf("emio: backing read: %w", err)
 	}
 	decodeElems(buf[:n], raw[:n*elemBytes], s.bulk)
@@ -257,7 +296,10 @@ func (s *fileStore) append(f *File, payload []Elem) error {
 	clear(raw[nbytes:])
 	if err := s.physWrite(raw, off); err != nil {
 		s.freeExtent(off, pn)
-		return fmt.Errorf("emio: backing write: %w", err)
+		return fmt.Errorf("emio: backing write %s at offset %d: %w", f.name, off, err)
+	}
+	if sm := s.sm.Load(); sm != nil {
+		sm.writeRunBlocks.Observe(1)
 	}
 	f.extents = append(f.extents, off)
 	return nil
@@ -273,7 +315,16 @@ func (s *fileStore) physWrite(raw []byte, off int64) error {
 		}
 	}
 	s.physW.Add(1)
+	sm := s.sm.Load()
+	var t0 time.Time
+	if sm != nil {
+		t0 = time.Now()
+	}
 	_, err := s.fd.WriteAt(raw, off)
+	if sm != nil {
+		sm.physWrites.Inc()
+		sm.physWriteNS.Observe(int64(time.Since(t0)))
+	}
 	return err
 }
 

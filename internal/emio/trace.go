@@ -17,8 +17,10 @@ package emio
 // untraced fast path is one nil check per phase boundary.
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
+	"slices"
 	"strings"
 	"text/tabwriter"
 )
@@ -61,11 +63,22 @@ type Span struct {
 	LiveFileDelta int64
 	// Depth is the nesting depth in the trace tree (roots are 0).
 	Depth int
+	// Seq is the span's start sequence number, assigned by the tracer in
+	// strictly increasing order of StartSpan calls. Children are exported
+	// sorted by Seq, so trace JSON and rendered trees are deterministic by
+	// construction rather than by scheduler accident.
+	Seq int64
 
 	tracer *Tracer
 	ctx    *Ctx
 	parent *Span
 	open   bool
+
+	// metricsOnly marks a span created with metrics enabled but no tracer
+	// attached: it feeds the phase gauges and records nothing else.
+	metricsOnly bool
+	phasePushed bool
+	phaseDepth  int
 
 	startStats    Stats
 	startSeq      int64
@@ -80,6 +93,7 @@ type Span struct {
 type Tracer struct {
 	roots []*Span
 	cur   *Span
+	seq   int64
 }
 
 // NewTracer creates an empty tracer.
@@ -92,20 +106,35 @@ func (c *Ctx) SetTracer(t *Tracer) { c.tracer = t }
 func (c *Ctx) Tracer() *Tracer { return c.tracer }
 
 // StartSpan opens a span as a child of the currently open span (or as a new
-// root). It returns nil when no tracer is attached; a nil *Span's methods
-// are all no-ops, so instrumentation sites need no tracing checks of their
-// own.
+// root). It returns nil when no tracer is attached and metrics are disabled;
+// a nil *Span's methods are all no-ops, so instrumentation sites need no
+// tracing checks of their own. With metrics enabled but no tracer, the
+// returned span records nothing in a trace tree — it only drives the live
+// phase gauges (empart_phase, empart_phase_depth).
 func (c *Ctx) StartSpan(name string, attrs ...Attr) *Span {
 	if c.tracer == nil {
-		return nil
+		m := c.disk.iom
+		if m == nil {
+			return nil
+		}
+		return &Span{
+			Name:        name,
+			ctx:         c,
+			open:        true,
+			metricsOnly: true,
+			phasePushed: true,
+			phaseDepth:  m.pushPhase(name),
+		}
 	}
 	return c.tracer.start(c, name, attrs)
 }
 
 func (t *Tracer) start(c *Ctx, name string, attrs []Attr) *Span {
+	t.seq++
 	sp := &Span{
 		Name:          name,
 		Attrs:         attrs,
+		Seq:           t.seq,
 		tracer:        t,
 		ctx:           c,
 		parent:        t.cur,
@@ -115,6 +144,10 @@ func (t *Tracer) start(c *Ctx, name string, attrs []Attr) *Span {
 		startLive:     c.disk.liveScratch,
 		savedPeakMem:  c.mem.peak,
 		savedPeakDisk: c.disk.peakLive,
+	}
+	if m := c.disk.iom; m != nil {
+		sp.phasePushed = true
+		sp.phaseDepth = m.pushPhase(name)
 	}
 	if t.cur != nil {
 		sp.Depth = t.cur.Depth + 1
@@ -137,11 +170,28 @@ func (sp *Span) End() {
 	if sp == nil || !sp.open {
 		return
 	}
+	if sp.metricsOnly {
+		sp.open = false
+		sp.popPhase()
+		return
+	}
 	t := sp.tracer
 	for t.cur != nil && t.cur != sp {
 		t.cur.finish()
 	}
 	sp.finish()
+}
+
+// popPhase restores the metrics phase stack to the depth captured at span
+// start. Truncation (rather than a single pop) keeps the stack consistent
+// when an error unwinds past nested End calls.
+func (sp *Span) popPhase() {
+	if !sp.phasePushed {
+		return
+	}
+	if m := sp.ctx.disk.iom; m != nil {
+		m.popPhaseTo(sp.phaseDepth)
+	}
 }
 
 func (sp *Span) finish() {
@@ -159,6 +209,7 @@ func (sp *Span) finish() {
 	}
 	sp.open = false
 	sp.tracer.cur = sp.parent
+	sp.popPhase()
 }
 
 // SetAttr appends an attribute to the span after the fact (for values known
@@ -205,6 +256,16 @@ func (t *Tracer) Find(name string) []*Span {
 	return out
 }
 
+// orderedChildren returns the span's children sorted by start sequence.
+// On the sequential EM model insertion order already equals start order, so
+// this is normally the identity; sorting makes exported trace ordering a
+// structural guarantee rather than a scheduler accident.
+func (sp *Span) orderedChildren() []*Span {
+	ch := slices.Clone(sp.Children)
+	slices.SortStableFunc(ch, func(a, b *Span) int { return cmp.Compare(a.Seq, b.Seq) })
+	return ch
+}
+
 // label renders "name k=v k=v" for the human-readable tree.
 func (sp *Span) label() string {
 	if len(sp.Attrs) == 0 {
@@ -234,7 +295,7 @@ func (t *Tracer) Render() string {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%+d\n",
 			label, sp.IO.Total(), sp.IO.Reads, sp.IO.Writes,
 			sp.PeakMem, sp.PeakDisk, sp.FilesCreated, sp.LiveFileDelta)
-		for _, ch := range sp.Children {
+		for _, ch := range sp.orderedChildren() {
 			rec(ch, depth+1)
 		}
 	}
@@ -248,6 +309,7 @@ func (t *Tracer) Render() string {
 // SpanJSON is the export form of one span, marshaled by Tracer.JSON.
 type SpanJSON struct {
 	Name          string         `json:"name"`
+	StartSeq      int64          `json:"startSeq"`
 	Attrs         map[string]any `json:"attrs,omitempty"`
 	Reads         int64          `json:"reads"`
 	Writes        int64          `json:"writes"`
@@ -262,6 +324,7 @@ type SpanJSON struct {
 func (sp *Span) export() SpanJSON {
 	j := SpanJSON{
 		Name:          sp.Name,
+		StartSeq:      sp.Seq,
 		Reads:         sp.IO.Reads,
 		Writes:        sp.IO.Writes,
 		IOs:           sp.IO.Total(),
@@ -276,16 +339,20 @@ func (sp *Span) export() SpanJSON {
 			j.Attrs[a.Key] = a.Val
 		}
 	}
-	for _, ch := range sp.Children {
+	for _, ch := range sp.orderedChildren() {
 		j.Children = append(j.Children, ch.export())
 	}
 	return j
 }
 
-// JSON marshals the recorded span forest as an indented JSON array.
+// JSON marshals the recorded span forest as an indented JSON array. Roots and
+// children appear in start-sequence order, so the bytes are stable across
+// runs and scheduler interleavings.
 func (t *Tracer) JSON() ([]byte, error) {
-	out := make([]SpanJSON, 0, len(t.roots))
-	for _, r := range t.roots {
+	roots := slices.Clone(t.roots)
+	slices.SortStableFunc(roots, func(a, b *Span) int { return cmp.Compare(a.Seq, b.Seq) })
+	out := make([]SpanJSON, 0, len(roots))
+	for _, r := range roots {
 		out = append(out, r.export())
 	}
 	return json.MarshalIndent(out, "", "  ")

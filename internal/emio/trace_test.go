@@ -251,3 +251,55 @@ func (f *fakeT) Fatalf(format string, args ...any) {
 	f.failed = true
 	f.msg = format
 }
+
+func TestTraceJSONOrderingIsDeterministic(t *testing.T) {
+	// Exported children must appear in start-sequence order even if the
+	// in-memory slice was somehow permuted, and startSeq must be present so
+	// trace diffs can key on it.
+	ctx := mustCtx(t, 64, 8)
+	tr := NewTracer()
+	ctx.SetTracer(tr)
+
+	root := ctx.StartSpan("root")
+	for _, name := range []string{"a", "b", "c"} {
+		sp := ctx.StartSpan(name)
+		sp.End()
+	}
+	root.End()
+
+	r := tr.Roots()[0]
+	if len(r.Children) != 3 {
+		t.Fatalf("children = %d, want 3", len(r.Children))
+	}
+	for i, ch := range r.Children {
+		if ch.Seq != r.Seq+int64(i)+1 {
+			t.Errorf("child %q Seq = %d, want %d", ch.Name, ch.Seq, r.Seq+int64(i)+1)
+		}
+	}
+
+	// Scramble the recorded order; export must restore start order.
+	r.Children[0], r.Children[2] = r.Children[2], r.Children[0]
+	out, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []SpanJSON
+	if err := json.Unmarshal(out, &spans); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ch := range spans[0].Children {
+		names = append(names, ch.Name)
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Errorf("exported child order = %v, want [a b c]", names)
+	}
+	if spans[0].StartSeq != 1 || spans[0].Children[0].StartSeq != 2 {
+		t.Errorf("startSeq missing or wrong: root=%d firstChild=%d",
+			spans[0].StartSeq, spans[0].Children[0].StartSeq)
+	}
+	rendered := tr.Render()
+	if !strings.Contains(rendered, "· a") {
+		t.Errorf("Render did not restore start order:\n%s", rendered)
+	}
+}
