@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench bench-compare microbench table1 examples clean
+.PHONY: all build vet test test-short race check fault bench bench-compare bench-pr5 microbench table1 examples clean
 
 all: build vet test
 
@@ -26,6 +26,12 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
+# The fault matrix under the race detector: injected transient/permanent
+# faults and bit-flip corruption across {mem, file, file+pipeline}, retry
+# on/off, plus the per-algorithm fault sweep and its goroutine-leak checks.
+fault:
+	$(GO) test -race -count=1 -run 'Fault|Resilien|Corrupt|Retry|Checksum|Backoff|Sticky' . ./internal ./internal/emio
+
 # Regenerate the checked-in wall-clock A/B document for the async I/O
 # pipeline (sort/partition/splitters, pipeline off vs on, buffered and
 # O_DIRECT backing). Progress goes to stderr, the JSON to BENCH_pr3.json.
@@ -37,6 +43,11 @@ bench:
 # rows the current host cannot measure (e.g. no O_DIRECT) are skipped.
 bench-compare:
 	$(GO) run ./cmd/embench -compare BENCH_pr3.json
+
+# Regenerate the checksum-overhead A/B document (sort/partition/splitters,
+# CRC32C off vs on, pipeline off and on). JSON goes to BENCH_pr5.json.
+bench-pr5:
+	$(GO) run ./cmd/embench -suite pr5 > BENCH_pr5.json
 
 microbench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

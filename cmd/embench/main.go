@@ -50,7 +50,9 @@ var (
 	flagPre     = flag.Int("prefetch", 0, "read-ahead depth in blocks; >0 enables the async pipeline (file-backed only)")
 	flagWB      = flag.Int("writebehind", 0, "write-behind queue depth in blocks; >0 enables the async pipeline (file-backed only)")
 	flagDirect  = flag.Bool("direct", false, "open backing files with O_DIRECT, bypassing the page cache (file-backed only)")
-	flagSuite   = flag.String("suite", "", "named suite: 'pr3' emits the wall-clock pipeline A/B JSON and exits")
+	flagSuite   = flag.String("suite", "", "named suite: 'pr3' (pipeline A/B) or 'pr5' (checksum A/B); emits the suite JSON and exits")
+	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
+	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
 	flagCompare = flag.String("compare", "", "baseline BENCH_pr3.json: rerun the pr3 suite, diff against it, and exit nonzero on any logical-I/O or >20% wall-clock regression")
 	flagProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the benchmarks run")
@@ -198,20 +200,30 @@ func main() {
 		}
 		return
 	}
-	if *flagSuite != "" {
-		if *flagSuite != "pr3" {
-			log.Fatalf("unknown suite %q (supported: pr3)", *flagSuite)
-		}
+	switch *flagSuite {
+	case "":
+	case "pr3":
 		if err := runPR3(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return
+	case "pr5":
+		if err := runPR5(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	default:
+		log.Fatalf("unknown suite %q (supported: pr3, pr5)", *flagSuite)
 	}
 	if *flagQuick {
 		*flagN = 1 << 15
 	}
 	n := int64(*flagN)
-	cfg := empart.Config{M: *flagM, B: *flagB}
+	cfg := empart.Config{
+		M: *flagM, B: *flagB,
+		Checksum: *flagSum,
+		Retry:    empart.Retry{MaxAttempts: *flagRetry},
+	}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -941,4 +953,185 @@ func wallCols2(r *pr3Row, n int64, b int, wall time.Duration) {
 	r.WallNS = wall.Nanoseconds()
 	r.NsPerElem = float64(wall.Nanoseconds()) / float64(n)
 	r.MBps = float64(r.IOs*int64(b)*16) / wall.Seconds() / 1e6
+}
+
+// --- suite pr5: checksum overhead A/B --------------------------------------
+//
+// The resilience layer guarantees checksums change nothing on the logical
+// model; this suite prices what they cost on the physical one. It runs sort,
+// partition and splitters on file-backed disks, pipeline off and on, with
+// per-block CRC32C verification off vs on, and reports the wall-clock
+// overhead next to the (required-identical) logical counters.
+
+type pr5Row struct {
+	Bench     string  `json:"bench"`
+	N         int64   `json:"n"`
+	Pipeline  bool    `json:"pipeline"`
+	Checksum  bool    `json:"checksum"`
+	Reads     int64   `json:"reads"`
+	Writes    int64   `json:"writes"`
+	IOs       int64   `json:"ios"`
+	WallNS    int64   `json:"wallNs"`
+	NsPerElem float64 `json:"nsPerElem"`
+	MBps      float64 `json:"mbps"`
+	// Checksum-on rows only: wall(on)/wall(off) against the matching
+	// checksum-off row, and whether the logical I/O counters matched it.
+	Overhead float64 `json:"overhead,omitempty"`
+	IOMatch  bool    `json:"ioMatch,omitempty"`
+}
+
+type pr5Doc struct {
+	Suite  string `json:"suite"`
+	Config struct {
+		M    int `json:"m"`
+		B    int `json:"b"`
+		Reps int `json:"reps"`
+	} `json:"config"`
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Rows []pr5Row `json:"rows"`
+}
+
+// runPR5 runs the checksum A/B suite and encodes the document to w.
+func runPR5(w io.Writer) error {
+	doc, err := runPR5Doc()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func runPR5Doc() (pr5Doc, error) {
+	var doc pr5Doc
+	dir, err := os.MkdirTemp("", "embench-pr5-")
+	if err != nil {
+		return doc, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := empart.Config{M: 1 << 12, B: 1 << 5}
+	sizes := []int64{1 << 17, 1 << 19}
+	const reps = 3
+	if *flagQuick {
+		sizes = []int64{1 << 14, 1 << 16}
+	}
+
+	type bench struct {
+		name string
+		run  func(sys *empart.System, f *empart.File, n int64) error
+	}
+	benches := []bench{
+		{"sort", func(sys *empart.System, f *empart.File, n int64) error {
+			out, err := sys.Sort(f)
+			if err != nil {
+				return err
+			}
+			out.Release()
+			return nil
+		}},
+		{"partition", func(sys *empart.System, f *empart.File, n int64) error {
+			res, err := sys.Partition(f, empart.Params{K: 64, A: 0, B: n / 16})
+			if err != nil {
+				return err
+			}
+			res.Release()
+			return nil
+		}},
+		{"splitters", func(sys *empart.System, f *empart.File, n int64) error {
+			out, err := sys.Splitters(f, empart.Params{K: 64, A: 64, B: n})
+			if err != nil {
+				return err
+			}
+			out.Release()
+			return nil
+		}},
+	}
+
+	seq := 0
+	observe := func(b bench, n int64, pipelined, checksum bool) (pr5Row, error) {
+		var best time.Duration
+		var stats empart.Stats
+		for rep := 0; rep < reps; rep++ {
+			c := cfg
+			c.Checksum = checksum
+			if pipelined {
+				c.Pipeline = empart.Pipeline{Enabled: true}
+			}
+			seq++
+			path := filepath.Join(dir, fmt.Sprintf("run-%d.dat", seq))
+			sys, err := empart.NewFileBacked(c, path)
+			if err != nil {
+				return pr5Row{}, err
+			}
+			if telReg != nil {
+				sys.SetMetrics(telReg)
+			}
+			f := sys.Stage(workload.Elems(workload.Uniform, int(n), cfg.B, 0x9425))
+			sys.ResetStats()
+			start := time.Now()
+			runErr := b.run(sys, f, n)
+			wall := time.Since(start)
+			st := sys.Stats()
+			sys.Close()
+			os.Remove(path)
+			if runErr != nil {
+				return pr5Row{}, fmt.Errorf("%s n=%d checksum=%v: %w", b.name, n, checksum, runErr)
+			}
+			if rep == 0 {
+				stats, best = st, wall
+			} else {
+				if st != stats {
+					return pr5Row{}, fmt.Errorf("%s n=%d checksum=%v: I/O counts differ across reps: %v vs %v",
+						b.name, n, checksum, st, stats)
+				}
+				if wall < best {
+					best = wall
+				}
+			}
+		}
+		r := pr5Row{
+			Bench: b.name, N: n, Pipeline: pipelined, Checksum: checksum,
+			Reads: stats.Reads, Writes: stats.Writes, IOs: stats.Total(),
+		}
+		if best > 0 {
+			r.WallNS = best.Nanoseconds()
+			r.NsPerElem = float64(best.Nanoseconds()) / float64(n)
+			r.MBps = float64(r.IOs*int64(cfg.B)*16) / best.Seconds() / 1e6
+		}
+		return r, nil
+	}
+
+	doc.Suite = "pr5"
+	doc.Config.M, doc.Config.B, doc.Config.Reps = cfg.M, cfg.B, reps
+	doc.Host.GOOS, doc.Host.GOARCH, doc.Host.GOMAXPROCS = runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)
+
+	for _, b := range benches {
+		for _, n := range sizes {
+			for _, pipelined := range []bool{false, true} {
+				off, err := observe(b, n, pipelined, false)
+				if err != nil {
+					return doc, err
+				}
+				on, err := observe(b, n, pipelined, true)
+				if err != nil {
+					return doc, err
+				}
+				on.Overhead = float64(on.WallNS) / float64(off.WallNS)
+				on.IOMatch = off.Reads == on.Reads && off.Writes == on.Writes
+				doc.Rows = append(doc.Rows, off, on)
+				mode := "sync"
+				if pipelined {
+					mode = "pipeline"
+				}
+				fmt.Fprintf(os.Stderr, "pr5: %-8s %-9s n=%-8d plain %8.2fms  checksum %8.2fms  overhead %.3fx  ioMatch=%v\n",
+					mode, b.name, n, float64(off.WallNS)/1e6, float64(on.WallNS)/1e6, on.Overhead, on.IOMatch)
+			}
+		}
+	}
+	return doc, nil
 }

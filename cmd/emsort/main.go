@@ -12,10 +12,13 @@
 //
 // With -metrics-addr the job serves live Prometheus metrics and pprof while
 // it runs; with -progress it streams phase/ETA lines to the report stream.
+// -checksum and -retry arm the resilience layer: corrupted blocks and
+// persistent transient faults abort the job with a typed, nonzero-exit error.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -39,6 +42,8 @@ var (
 	flagTrace   = flag.Bool("trace", false, "print a phase trace (span tree with I/O attribution) to the report stream")
 	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
 	flagProg    = flag.Duration("progress", 0, "print a progress/ETA line to the report stream at this interval (0 = off)")
+	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
+	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
 )
 
 // runOpts carries one emsort invocation.
@@ -74,15 +79,34 @@ func main() {
 		dst = g
 	}
 	o := runOpts{
-		cfg:         empart.Config{M: *flagM, B: *flagB},
+		cfg: empart.Config{
+			M: *flagM, B: *flagB,
+			Checksum: *flagSum,
+			Retry:    empart.Retry{MaxAttempts: *flagRetry},
+		},
 		backing:     *flagBacking,
 		trace:       *flagTrace,
 		metricsAddr: *flagMetrics,
 		progress:    *flagProg,
 	}
 	if err := run(o, in, dst, os.Stderr); err != nil {
-		log.Fatal(err)
+		log.Fatal(renderErr(err))
 	}
+}
+
+// renderErr prefixes the resilience layer's typed failures so a log line (and
+// the nonzero exit it precedes) tells data corruption apart from device
+// trouble without parsing the wrapped chain.
+func renderErr(err error) string {
+	var ce *empart.CorruptionError
+	if errors.As(err, &ce) {
+		return fmt.Sprintf("data corruption detected: %v", err)
+	}
+	var te *empart.TransientError
+	if errors.As(err, &te) {
+		return fmt.Sprintf("giving up after %d attempt(s): %v", te.Attempts, err)
+	}
+	return err.Error()
 }
 
 // startTelemetry attaches a metrics registry to sys and starts the opt-in

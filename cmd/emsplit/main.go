@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,19 +44,23 @@ var (
 	flagTrace   = flag.Bool("trace", false, "append a phase trace (span tree with I/O and memory attribution) to the report")
 	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
 	flagProg    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
+	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
 )
 
 // options carries one emsplit invocation.
 type options struct {
-	algo   string
-	n      int
-	m, b   int
-	k, a   int64
-	bmax   int64
-	dist   string
-	seed   uint64
-	lo, hi float64
-	trace  bool
+	algo     string
+	n        int
+	m, b     int
+	k, a     int64
+	bmax     int64
+	dist     string
+	seed     uint64
+	lo, hi   float64
+	trace    bool
+	checksum bool
+	retry    int
 
 	metricsAddr string
 	progress    time.Duration
@@ -70,19 +75,38 @@ func main() {
 		algo: *flagAlgo, n: *flagN, m: *flagM, b: *flagB,
 		k: *flagK, a: *flagA, bmax: *flagBMax,
 		dist: *flagDist, seed: *flagSeed, lo: *flagLo, hi: *flagHi,
-		trace:       *flagTrace,
+		trace: *flagTrace, checksum: *flagSum, retry: *flagRetry,
 		metricsAddr: *flagMetrics, progress: *flagProg, progressOut: os.Stderr,
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(renderErr(err))
 	}
 	fmt.Print(report)
+}
+
+// renderErr prefixes the resilience layer's typed failures so a log line (and
+// the nonzero exit it precedes) tells data corruption apart from device
+// trouble without parsing the wrapped chain.
+func renderErr(err error) string {
+	var ce *empart.CorruptionError
+	if errors.As(err, &ce) {
+		return fmt.Sprintf("data corruption detected: %v", err)
+	}
+	var te *empart.TransientError
+	if errors.As(err, &te) {
+		return fmt.Sprintf("giving up after %d attempt(s): %v", te.Attempts, err)
+	}
+	return err.Error()
 }
 
 // execute runs one algorithm with verification and returns the report text.
 func execute(o options) (string, error) {
 	var sb strings.Builder
-	cfg := empart.Config{M: o.m, B: o.b}
+	cfg := empart.Config{
+		M: o.m, B: o.b,
+		Checksum: o.checksum,
+		Retry:    empart.Retry{MaxAttempts: o.retry},
+	}
 	sys, err := empart.New(cfg)
 	if err != nil {
 		return "", err

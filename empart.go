@@ -56,6 +56,27 @@ type (
 	// pipeline of file-backed systems (Config.Pipeline). It never changes
 	// logical I/O counts.
 	Pipeline = emio.Pipeline
+	// Retry configures bounded retry of transient physical-I/O failures
+	// (Config.Retry): attempts, exponential backoff, deterministic jitter.
+	Retry = emio.Retry
+	// RetryStats is a snapshot of the retry layer's counters
+	// (System.RetryStats).
+	RetryStats = emio.RetryStats
+	// CorruptionError reports a block whose content fails CRC32C
+	// verification (Config.Checksum), naming file, block, offset and both
+	// sums. Match with errors.As.
+	CorruptionError = emio.CorruptionError
+	// TransientError reports a transfer that stayed transiently failing
+	// after the retry budget (or with retry disabled). Match with errors.As.
+	TransientError = emio.TransientError
+	// FaultError attributes any other physical failure to a file, block and
+	// backing offset. Match with errors.As.
+	FaultError = emio.FaultError
+	// Injector is a deterministic physical-fault schedule for resilience
+	// testing; install with System.SetInjector.
+	Injector = emio.Injector
+	// InjectorStats counts what an Injector saw and did.
+	InjectorStats = emio.InjectorStats
 	// Stats is a snapshot of block-I/O counters.
 	Stats = emio.Stats
 	// File is a sequence of elements on the simulated disk.
@@ -90,6 +111,14 @@ const (
 	RightGrounded = core.RightGrounded
 	LeftGrounded  = core.LeftGrounded
 	TwoSided      = core.TwoSided
+)
+
+// Re-exported error marks of the resilience layer: ErrTransient marks
+// retryable physical failures; ErrInjected marks faults produced by an
+// Injector. Both are matched with errors.Is.
+var (
+	ErrTransient = emio.ErrTransient
+	ErrInjected  = emio.ErrInjected
 )
 
 // System is an external-memory machine instance: a simulated disk with I/O
@@ -180,6 +209,28 @@ func (s *System) BackingBytes() int64 { return s.ctx.Disk().BackingBytes() }
 // in-memory systems. Compare with Stats to see the pipeline's coalescing:
 // logical counts are invariant, physical counts drop when it is on.
 func (s *System) PhysStats() Stats { return s.ctx.Disk().PhysStats() }
+
+// RetryStats returns the retry layer's counters: transient attempts retried,
+// transfers given up on, and total backoff slept. All zero unless Config.Retry
+// is armed and transient faults actually occurred.
+func (s *System) RetryStats() RetryStats { return s.ctx.Disk().RetryStats() }
+
+// SetInjector installs (or, with nil, removes) a deterministic physical
+// fault injector on the system's disk, for resilience testing. Install after
+// staging inputs and before the algorithm runs.
+func (s *System) SetInjector(inj *Injector) { s.ctx.Disk().SetInjector(inj) }
+
+// NewInjector creates an idle fault injector with the given probabilistic
+// seed; script it with FailRead/FailWrite or arm Probabilistic.
+func NewInjector(seed uint64) *Injector { return emio.NewInjector(seed) }
+
+// CorruptBlock flips one bit of the stored image of block i of f, modeling
+// at-rest corruption. Harness-side like Stage: no I/O is charged and no
+// fault hook fires. With Config.Checksum armed, the next read of the block
+// fails with a *CorruptionError.
+func (s *System) CorruptBlock(f *File, block, bit int) error {
+	return s.ctx.Disk().CorruptBlock(f, block, bit)
+}
 
 // NewTracer creates a standalone phase tracer, for sharing one tracer across
 // several Systems or inspecting spans programmatically.

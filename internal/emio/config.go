@@ -13,11 +13,19 @@ import (
 // Pipeline configures the asynchronous I/O pipeline of file-backed disks; it
 // affects only physical transfers and wall-clock speed, never the logical
 // I/O counters, and is ignored by memory-backed disks.
+//
+// Checksum and Retry arm the opt-in resilience layer: per-block CRC32C
+// verification on every read, and bounded retry of transient physical-I/O
+// failures. Both are bit-identical on the logical model — with no faults
+// injected, outputs, Stats and trace JSON match a resilience-off run.
 type Config struct {
 	M int // memory capacity, in elements
 	B int // block size, in elements
 
 	Pipeline Pipeline // async physical-I/O pipeline (file-backed disks)
+
+	Checksum bool  // verify per-block CRC32C checksums on every read
+	Retry    Retry // bounded retry of transient physical-transfer failures
 }
 
 // Pipeline configures the asynchronous prefetch/write-behind pipeline of a
@@ -82,6 +90,9 @@ func (c Config) Validate() error {
 	}
 	if c.M < 2*c.B {
 		return fmt.Errorf("%w: memory M=%d with block size B=%d, need M >= 2B", ErrBadConfig, c.M, c.B)
+	}
+	if err := c.Retry.validate(); err != nil {
+		return err
 	}
 	return c.Pipeline.validate()
 }

@@ -24,12 +24,26 @@ func NewCtx(cfg Config) (*Ctx, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	d := NewDisk(cfg.B)
+	applyResilience(d, cfg)
 	return &Ctx{
 		cfg:  cfg,
-		disk: NewDisk(cfg.B),
+		disk: d,
 		mem:  NewAccountant(int64(cfg.M)),
 		rng:  rand.New(rand.NewPCG(0x7a1e5, 0x9e3779b9)),
 	}, nil
+}
+
+// applyResilience arms the disk's opt-in resilience features named by the
+// configuration. Additive only: a Config that leaves them off never clears
+// features configured directly on an existing disk.
+func applyResilience(d *Disk, cfg Config) {
+	if cfg.Checksum {
+		d.EnableChecksums()
+	}
+	if cfg.Retry.Enabled() {
+		d.SetRetry(cfg.Retry)
+	}
 }
 
 // NewCtxWithDisk creates a context over an existing disk (for example a
@@ -41,6 +55,7 @@ func NewCtxWithDisk(cfg Config, d *Disk) (*Ctx, error) {
 	if d.BlockSize() != cfg.B {
 		return nil, fmt.Errorf("%w: disk block size %d != B=%d", ErrBadConfig, d.BlockSize(), cfg.B)
 	}
+	applyResilience(d, cfg)
 	return &Ctx{
 		cfg:  cfg,
 		disk: d,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/emio/metrics"
 )
@@ -50,6 +51,18 @@ type Disk struct {
 	// path: one nil check per recording site). Strictly observational —
 	// never touches stats, fault hooks or the store's logical state.
 	iom *IOMetrics
+
+	// Resilience layer (all opt-in, see EnableChecksums/SetRetry/
+	// SetInjector). checksum arms per-block CRC32C verification; retry is
+	// the bounded-retry policy applied to physical transfers; inj is the
+	// physical fault injector consulted below the retry layer. retry is
+	// read by pipeline goroutines — configure it before I/O starts, so the
+	// store's channel handoffs order the write. inj is atomic because fault
+	// harnesses legitimately attach and detach it mid-run, concurrently
+	// with in-flight pipeline transfers.
+	checksum bool
+	retry    *retrier
+	inj      atomic.Pointer[Injector]
 }
 
 // ErrReleased is returned when accessing a File whose storage was released.
@@ -87,6 +100,10 @@ func NewFileBackedDiskPipeline(path string, blockSize int, p Pipeline) (*Disk, e
 		return nil, err
 	}
 	d := &Disk{blockSize: blockSize, store: st}
+	// Back-pointer for the resilience layer (retry + fault injection around
+	// physical transfers). Set before any I/O, so the store's channel
+	// handoffs order it ahead of every pipeline goroutine that reads it.
+	st.disk = d
 	if p.Enabled {
 		d.prefetch = p.withDefaults().PrefetchDepth
 	}
@@ -136,12 +153,18 @@ func (d *Disk) EnableMetrics(reg *metrics.Registry) *IOMetrics {
 		if ms, ok := d.store.(metricsSink); ok {
 			ms.setMetrics(nil)
 		}
+		if d.retry != nil {
+			d.retry.m.Store(nil)
+		}
 		return nil
 	}
 	m := newIOMetrics(reg)
 	d.iom = m
 	if ms, ok := d.store.(metricsSink); ok {
 		ms.setMetrics(m)
+	}
+	if d.retry != nil {
+		d.retry.m.Store(newRetryMetrics(reg))
 	}
 	// Seed the footprint gauges so a scrape right after enabling sees the
 	// current state rather than zeros.
@@ -167,6 +190,86 @@ func (d *Disk) Stats() Stats { return d.stats }
 // ResetStats zeroes the I/O counters. Benchmarks call this after building
 // their inputs so that only the algorithm under test is measured.
 func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// EnableChecksums arms per-block CRC32C checksums: every block append
+// records the checksum of its on-disk image in a memory-resident sidecar,
+// and every read verifies the decoded payload against it, returning a
+// *CorruptionError on mismatch. Enable before files hold data — blocks
+// written earlier have no recorded sum and are read unverified. Checksums
+// never change logical accounting, outputs or trace JSON.
+func (d *Disk) EnableChecksums() { d.checksum = true }
+
+// ChecksumsEnabled reports whether per-block checksum verification is armed.
+func (d *Disk) ChecksumsEnabled() bool { return d.checksum }
+
+// SetRetry installs the bounded-retry policy for physical transfers. A
+// policy with MaxAttempts <= 1 removes it (single attempt per transfer;
+// transient failures then still surface as typed *TransientError).
+// Configure before I/O starts.
+func (d *Disk) SetRetry(pol Retry) {
+	if !pol.Enabled() {
+		d.retry = nil
+		return
+	}
+	r := newRetrier(pol)
+	if d.iom != nil {
+		r.m.Store(newRetryMetrics(d.iom.reg))
+	}
+	d.retry = r
+}
+
+// RetryStats returns the retry layer's counters (zero when no policy is
+// installed).
+func (d *Disk) RetryStats() RetryStats {
+	if d.retry == nil {
+		return RetryStats{}
+	}
+	return d.retry.stats()
+}
+
+// retryCount returns retried attempts so far, for trace-span deltas.
+func (d *Disk) retryCount() int64 {
+	if d.retry == nil {
+		return 0
+	}
+	return d.retry.retries.Load()
+}
+
+// SetInjector installs (or, with nil, removes) a physical fault injector,
+// consulted by every backing transfer below the retry layer. Harness-side;
+// configure before I/O starts.
+func (d *Disk) SetInjector(inj *Injector) { d.inj.Store(inj) }
+
+// Injector returns the installed fault injector, nil when none is armed.
+func (d *Disk) Injector() *Injector { return d.inj.Load() }
+
+// blockCorrupter is the optional store capability behind Disk.CorruptBlock.
+type blockCorrupter interface {
+	corruptBlock(f *File, i, bit int) error
+}
+
+// CorruptBlock flips one bit of the stored image of block i of f, modeling
+// at-rest corruption (bit rot, a torn sector). bit indexes the block's
+// on-disk little-endian image, so bit 0 is the lowest bit of the first
+// element's Key. Harness-side like BuildFile: the flip bypasses I/O
+// accounting, fault hooks and the injector. On pipelined stores pending
+// writes of f are drained first (their sticky error, if any, is returned).
+func (d *Disk) CorruptBlock(f *File, i, bit int) error {
+	if f.released {
+		return fmt.Errorf("%w (%s)", ErrReleased, f.name)
+	}
+	if i < 0 || i >= f.nblocks {
+		return fmt.Errorf("%w: block %d of %d in %s", ErrBlockRange, i, f.nblocks, f.name)
+	}
+	if nbits := f.blockLen(i) * elemBytes * 8; bit < 0 || bit >= nbits {
+		return fmt.Errorf("emio: corrupt %s block %d: bit %d out of range [0,%d)", f.name, i, bit, nbits)
+	}
+	c, ok := d.store.(blockCorrupter)
+	if !ok {
+		return fmt.Errorf("emio: store %T cannot corrupt blocks", d.store)
+	}
+	return c.corruptBlock(f, i, bit)
+}
 
 // SetReadFault installs (or, with nil, removes) a read fault hook.
 func (d *Disk) SetReadFault(hook func(f *File, block int) error) { d.readFault = hook }

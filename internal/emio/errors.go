@@ -1,0 +1,98 @@
+package emio
+
+// The typed error taxonomy of the resilience layer. Every failure a physical
+// transfer can produce is one of three attributable kinds:
+//
+//   - CorruptionError: the bytes read back do not match the checksum recorded
+//     at write time (bit rot, a torn write, a misdirected read).
+//   - TransientError: a physical transfer kept failing with a retryable error
+//     until the retry budget ran out (or retry was disabled).
+//   - FaultError: a physical or injected failure attributed to a file, block
+//     and backing offset — the general wrapper the file and store layers put
+//     around any other transfer error.
+//
+// All three wrap their cause, so errors.Is/As see through them; FaultError
+// renders exactly the message formats the pre-typed string wrapping used, so
+// error text stays stable for logs and the fault-parity suite.
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// CorruptionError reports a block whose content no longer matches the CRC32C
+// checksum recorded when it was written. It names the file, the block index,
+// the byte offset of the block in the backing store, and both sums, so a
+// corrupted device region can be located from the error alone.
+type CorruptionError struct {
+	File     string // diagnostic name of the file
+	Block    int    // block index within the file
+	Off      int64  // byte offset of the block in the backing store
+	Stored   uint32 // checksum recorded at write time
+	Computed uint32 // checksum of the bytes read back
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("emio: corruption in %s block %d at offset %d: stored crc32c 0x%08x, computed 0x%08x",
+		e.File, e.Block, e.Off, e.Stored, e.Computed)
+}
+
+// TransientError reports a physical transfer that failed with a retryable
+// error on every attempt the retry policy allowed. Attempts is the total
+// number of attempts made (1 when retry is disabled); Err is the failure of
+// the last attempt.
+type TransientError struct {
+	Op       string // "read" or "write"
+	File     string // diagnostic name of the file involved
+	Offset   int64  // byte offset of the transfer in the backing store
+	Attempts int    // attempts made, including the first
+	Err      error  // failure of the last attempt
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("emio: transient %s fault on %s at offset %d persisted after %d attempt(s): %v",
+		e.Op, e.File, e.Offset, e.Attempts, e.Err)
+}
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// FaultError attributes a failed transfer to a file and, when known, a block
+// index and backing byte offset. The file layer produces the block form
+// ("emio: read f block 3: ..."); the store layers produce the offset form
+// ("emio: backing write f at offset 4096: ..."). Block is -1 in the offset
+// form; Off is -1 when the backing offset is unknown (memory-backed disks).
+type FaultError struct {
+	Op    string // "read" or "write"
+	File  string // diagnostic name of the file
+	Block int    // block index, -1 below block granularity
+	Off   int64  // byte offset in the backing store, -1 when unknown
+	Err   error  // underlying cause
+}
+
+func (e *FaultError) Error() string {
+	if e.Block >= 0 {
+		return fmt.Sprintf("emio: %s %s block %d: %v", e.Op, e.File, e.Block, e.Err)
+	}
+	return fmt.Sprintf("emio: backing %s %s at offset %d: %v", e.Op, e.File, e.Off, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// ErrTransient marks an error as retryable: any error wrapping it is treated
+// as a transient device condition by the retry layer. The fault injector
+// wraps its transient faults with it.
+var ErrTransient = errors.New("emio: transient fault")
+
+// isTransient reports whether a physical-transfer error is worth retrying:
+// anything explicitly marked with ErrTransient, plus the interrupted/busy
+// syscall conditions a real device can return.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}

@@ -26,6 +26,7 @@ type File struct {
 
 	mem     [][]Elem // memStore payloads
 	extents []int64  // fileStore block offsets
+	sums    []uint32 // per-block CRC32C sidecar (disks with checksums armed)
 }
 
 // Errors returned by block-level file operations.
@@ -64,6 +65,7 @@ func (f *File) Release() {
 	f.disk.noteRelease(f)
 	f.n = 0
 	f.nblocks = 0
+	f.sums = nil
 	f.released = true
 }
 
@@ -74,6 +76,16 @@ func (f *File) blockLen(i int) int {
 		return int(f.n - int64(f.nblocks-1)*int64(f.disk.blockSize))
 	}
 	return f.disk.blockSize
+}
+
+// blockOff returns the byte offset of block i in the backing store; for
+// memory-backed disks it is the block's dense-log position (the offset it
+// would have on a file backing).
+func (f *File) blockOff(i int) int64 {
+	if i < len(f.extents) {
+		return f.extents[i]
+	}
+	return int64(i) * int64(f.disk.blockSize) * elemBytes
 }
 
 // ReadBlock copies block i into buf and returns the number of elements
@@ -110,7 +122,7 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 	f.disk.noteRead(f, i)
 	if hook := f.disk.readFault; hook != nil {
 		if err := hook(f, i); err != nil {
-			return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
+			return 0, &FaultError{Op: "read", File: f.name, Block: i, Off: f.blockOff(i), Err: err}
 		}
 	}
 	m := f.disk.iom
@@ -132,7 +144,22 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 		m.logReadNS.Observe(int64(time.Since(t0)))
 	}
 	if err != nil {
-		return 0, fmt.Errorf("emio: read %s block %d: %w", f.name, i, err)
+		return 0, &FaultError{Op: "read", File: f.name, Block: i, Off: f.blockOff(i), Err: err}
+	}
+	if f.disk.checksum && i < len(f.sums) {
+		// Verify the decoded payload against the sum recorded at append
+		// time. This is the single verification point for every fill path —
+		// synchronous reads, write-behind read-back and prefetch staging all
+		// decode here, on the algorithm goroutine.
+		if got := checksumElems(buf[:n]); got != f.sums[i] {
+			if m != nil {
+				m.corruptions.Inc()
+			}
+			return 0, &CorruptionError{
+				File: f.name, Block: i, Off: f.blockOff(i),
+				Stored: f.sums[i], Computed: got,
+			}
+		}
 	}
 	return n, nil
 }
@@ -167,8 +194,15 @@ func (f *File) AppendBlock(payload []Elem) error {
 	f.disk.stats.Writes++
 	if hook := f.disk.writeFault; hook != nil {
 		if err := hook(f, f.nblocks); err != nil {
-			return fmt.Errorf("emio: write %s block %d: %w", f.name, f.nblocks, err)
+			return &FaultError{Op: "write", File: f.name, Block: f.nblocks, Off: -1, Err: err}
 		}
+	}
+	// Checksum at enqueue, before the store may hand the payload to the
+	// write-behind worker: the sum captures what the algorithm wrote, on the
+	// algorithm goroutine, identically under pipeline on/off.
+	var sum uint32
+	if f.disk.checksum {
+		sum = checksumElems(payload)
 	}
 	m := f.disk.iom
 	var t0 time.Time
@@ -181,7 +215,10 @@ func (f *File) AppendBlock(payload []Elem) error {
 		m.logWriteNS.Observe(int64(time.Since(t0)))
 	}
 	if err != nil {
-		return fmt.Errorf("emio: write %s block %d: %w", f.name, f.nblocks, err)
+		return &FaultError{Op: "write", File: f.name, Block: f.nblocks, Off: -1, Err: err}
+	}
+	if f.disk.checksum {
+		f.sums = append(f.sums, sum)
 	}
 	f.nblocks++
 	f.disk.noteAlloc(1)

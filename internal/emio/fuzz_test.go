@@ -1,0 +1,91 @@
+package emio
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzMarshalRoundTrip checks that arbitrary byte payloads survive
+// decode→encode unchanged, and that the bulk (zero-copy) and portable codecs
+// agree byte-for-byte in both directions. Run with `go test -fuzz
+// FuzzMarshalRoundTrip ./internal/emio`.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, elemBytes))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	seed := make([]byte, 4*elemBytes)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / elemBytes
+		if n == 0 {
+			return
+		}
+		raw = raw[:n*elemBytes]
+
+		bulkElems := make([]Elem, n)
+		portElems := make([]Elem, n)
+		decodeElems(bulkElems, raw, true)
+		decodeElems(portElems, raw, false)
+		for i := 0; i < n; i++ {
+			if bulkElems[i] != portElems[i] {
+				t.Fatalf("decode disagrees at element %d: bulk %v, portable %v", i, bulkElems[i], portElems[i])
+			}
+			wantKey := int64(binary.LittleEndian.Uint64(raw[i*elemBytes:]))
+			wantAux := int64(binary.LittleEndian.Uint64(raw[i*elemBytes+8:]))
+			if portElems[i].Key != wantKey || portElems[i].Aux != wantAux {
+				t.Fatalf("element %d = %v, want {%d %d}", i, portElems[i], wantKey, wantAux)
+			}
+		}
+
+		bulkRaw := make([]byte, n*elemBytes)
+		portRaw := make([]byte, n*elemBytes)
+		encodeElems(bulkRaw, bulkElems, true)
+		encodeElems(portRaw, portElems, false)
+		for i := range raw {
+			if bulkRaw[i] != raw[i] {
+				t.Fatalf("bulk re-encode differs from input at byte %d: 0x%02x vs 0x%02x", i, bulkRaw[i], raw[i])
+			}
+			if portRaw[i] != raw[i] {
+				t.Fatalf("portable re-encode differs from input at byte %d: 0x%02x vs 0x%02x", i, portRaw[i], raw[i])
+			}
+		}
+
+		// The checksum must agree across codec paths on the same payload.
+		if a, b := checksumElems(bulkElems), checksumElemsPortable(portElems); a != b {
+			t.Fatalf("checksum disagrees across codecs: bulk 0x%08x, portable 0x%08x", a, b)
+		}
+	})
+}
+
+// FuzzChecksumBitFlip checks that flipping any single bit of a payload always
+// changes its CRC32C — i.e. checksum verification can never accept a
+// one-bit corruption. (CRC32C detects all 1- and 2-bit errors by
+// construction; this guards our element-wise implementation of it.)
+func FuzzChecksumBitFlip(f *testing.F) {
+	f.Add([]byte{0}, uint(0))
+	f.Add(make([]byte, 3*elemBytes), uint(17))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint(100))
+	f.Fuzz(func(t *testing.T, raw []byte, bitSeed uint) {
+		n := len(raw) / elemBytes
+		if n == 0 {
+			return
+		}
+		raw = raw[:n*elemBytes]
+		elems := make([]Elem, n)
+		decodeElems(elems, raw, false)
+		orig := checksumElems(elems)
+
+		bit := int(bitSeed % uint(len(raw)*8))
+		flipped := make([]byte, len(raw))
+		copy(flipped, raw)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		flippedElems := make([]Elem, n)
+		decodeElems(flippedElems, flipped, false)
+		if got := checksumElems(flippedElems); got == orig {
+			t.Fatalf("flipping bit %d left crc32c unchanged at 0x%08x", bit, orig)
+		}
+	})
+}

@@ -32,6 +32,7 @@ type IOMetrics struct {
 	// sequential, so exactly one goroutine records these.
 	logReads, logWrites   *metrics.CounterHandle
 	logReadNS, logWriteNS *metrics.HistogramHandle
+	corruptions           *metrics.CounterHandle // checksum mismatches surfaced to readers
 
 	// Gauges (single atomics; updated from whichever goroutine owns the
 	// underlying quantity).
@@ -61,6 +62,8 @@ func newIOMetrics(reg *metrics.Registry) *IOMetrics {
 		"latency of one logical block read, store roundtrip included", "ns").Handle()
 	m.logWriteNS = reg.Histogram("empart_logical_write_ns",
 		"latency of one logical block write (enqueue time under write-behind)", "ns").Handle()
+	m.corruptions = reg.Counter("empart_corruption_detected_total",
+		"block reads rejected by CRC32C checksum verification").Handle()
 	m.liveBlocks = reg.Gauge("empart_live_disk_blocks",
 		"blocks currently held by unreleased files")
 	m.liveScratch = reg.Gauge("empart_live_scratch_files",

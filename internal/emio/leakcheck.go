@@ -1,5 +1,10 @@
 package emio
 
+import (
+	"runtime"
+	"time"
+)
+
 // TestingT is the slice of *testing.T the leak detector needs. Declared as a
 // local interface so that package emio (linked into every binary) never
 // imports the testing package itself.
@@ -26,4 +31,33 @@ func RequireNoLeaks(t TestingT, c *Ctx) {
 		show = show[:maxShow]
 	}
 	t.Fatalf("emio: %d scratch files leaked (first %d shown): %v", len(leaks), len(show), show)
+}
+
+// NumGoroutines returns the current goroutine count, for use with
+// RequireNoGoroutineLeaks: capture it before creating a pipelined system,
+// verify after closing it.
+func NumGoroutines() int { return runtime.NumGoroutine() }
+
+// RequireNoGoroutineLeaks fails the test when the goroutine count has not
+// returned to the baseline captured with NumGoroutines. The write-behind
+// worker and prefetch goroutines must all have exited once their Disk is
+// closed — including after injected failures mid-run, the case this check
+// guards. Freshly exited goroutines may need a moment to be reaped, so the
+// check polls briefly before failing; on failure it dumps all stacks.
+func RequireNoGoroutineLeaks(t TestingT, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("emio: goroutine leak: %d live, baseline %d; stacks:\n%s", n, base, buf)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

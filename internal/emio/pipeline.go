@@ -30,7 +30,6 @@ package emio
 // misses the staging window and falls back to direct reads.
 
 import (
-	"fmt"
 	"sync"
 	"time"
 )
@@ -85,17 +84,29 @@ type asyncState struct {
 	stageBufs  chan []byte      // pooled prefetch staging buffers
 	stageCap   int              // staging buffer capacity in bytes
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  map[*File]int   // queued-but-unwritten blocks per file
-	fileErr  map[*File]error // sticky first physical write failure per file
-	firstErr error           // sticky first physical write failure overall
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[*File]int // queued-but-unwritten blocks per file
+	// Sticky physical write failures, first per file, in failure order.
+	// Each is reported exactly once: delivered flips when the error reaches
+	// a caller (the next op on the file, Sync, Writer.Close), and
+	// stopAsync/Disk.Close surface only the errors nothing else delivered —
+	// never a second copy of one already reported.
+	errs    []*stickyErr
+	fileErr map[*File]*stickyErr
 
 	pf map[*File]*prefetchState // head of each file's read-ahead chain
 
 	// testWriteErr, when set (tests only, before any I/O), injects a failure
 	// into the physical write path below the queue.
 	testWriteErr func(off int64) error
+}
+
+// stickyErr is one recorded asynchronous write failure and whether it has
+// been reported to a caller yet. Guarded by asyncState.mu.
+type stickyErr struct {
+	err       error
+	delivered bool
 }
 
 // startAsync arms the pipeline: allocates the queues and pools and starts
@@ -110,7 +121,7 @@ func (s *fileStore) startAsync() {
 		stageBufs:  make(chan []byte, 3),
 		stageCap:   s.pipe.PrefetchDepth * blockBytes,
 		pending:    make(map[*File]int),
-		fileErr:    make(map[*File]error),
+		fileErr:    make(map[*File]*stickyErr),
 		pf:         make(map[*File]*prefetchState),
 	}
 	a.cond = sync.NewCond(&a.mu)
@@ -119,8 +130,10 @@ func (s *fileStore) startAsync() {
 }
 
 // stopAsync drains and joins the worker and all in-flight prefetches,
-// returning the first physical write failure observed over the store's
-// lifetime.
+// returning the first physical write failure that no earlier operation
+// (next-op check, Sync, Writer.Close) already reported. Errors delivered
+// once are not re-reported here, so a failure surfaced at Writer.Close does
+// not come back as a second distinct error at Disk.Close.
 func (s *fileStore) stopAsync() error {
 	a := s.async
 	s.flushCur()
@@ -131,7 +144,13 @@ func (s *fileStore) stopAsync() error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.firstErr
+	for _, se := range a.errs {
+		if !se.delivered {
+			se.delivered = true
+			return se.err
+		}
+	}
+	return nil
 }
 
 // --- buffer pools ---------------------------------------------------------
@@ -240,7 +259,7 @@ func (s *fileStore) flushBatch(b *writeBatch) {
 			nb += b.ops[end].nbytes
 			end++
 		}
-		err := s.physWrite(b.buf[pos:pos+nb], b.ops[start].off)
+		err := s.physWrite(b.ops[start].f.name, b.buf[pos:pos+nb], b.ops[start].off)
 		if sm := s.sm.Load(); sm != nil && err == nil {
 			sm.writeRunBlocks.Observe(int64(end - start))
 		}
@@ -260,13 +279,10 @@ func (s *fileStore) completeOps(ops []batchOp, err error) {
 	a.mu.Lock()
 	for _, op := range ops {
 		if err != nil {
-			wrapped := fmt.Errorf("emio: backing write %s at offset %d: %w",
-				op.f.name, op.off, err)
 			if a.fileErr[op.f] == nil {
-				a.fileErr[op.f] = wrapped
-			}
-			if a.firstErr == nil {
-				a.firstErr = wrapped
+				se := &stickyErr{err: storeWriteError(op.f.name, op.off, err)}
+				a.fileErr[op.f] = se
+				a.errs = append(a.errs, se)
 			}
 		}
 		a.pending[op.f]--
@@ -296,13 +312,25 @@ func (s *fileStore) drainFile(f *File) error {
 			a.cond.Wait()
 		}
 	}
-	err := a.fileErr[f]
+	err := deliverLocked(a.fileErr[f])
 	a.mu.Unlock()
 	return err
 }
 
-// drainFileQuiet waits out f's pending writes and forgets its error state:
-// the release path, where the file is going away regardless.
+// deliverLocked marks a sticky error as reported and returns it (nil-safe).
+// Callers hold asyncState.mu.
+func deliverLocked(se *stickyErr) error {
+	if se == nil {
+		return nil
+	}
+	se.delivered = true
+	return se.err
+}
+
+// drainFileQuiet waits out f's pending writes and detaches its error state
+// from the per-file map: the release path, where the file is going away
+// regardless. An error nobody reported yet stays queued for Disk.Close — a
+// lost write still signals device trouble even if its file was discarded.
 func (s *fileStore) drainFileQuiet(f *File) {
 	a := s.async
 	a.mu.Lock()
@@ -322,7 +350,7 @@ func (s *fileStore) drainFileQuiet(f *File) {
 func (s *fileStore) fileError(f *File) error {
 	a := s.async
 	a.mu.Lock()
-	err := a.fileErr[f]
+	err := deliverLocked(a.fileErr[f])
 	a.mu.Unlock()
 	return err
 }
@@ -387,13 +415,13 @@ func (s *fileStore) pipelineRead(f *File, i int, dst []Elem, ahead int) (int, er
 	if sm != nil {
 		t0 = time.Now()
 	}
-	_, err := s.fd.ReadAt(raw, f.extents[i])
+	err := s.readAtPhys(f.name, raw, f.extents[i])
 	if sm != nil {
 		sm.physReads.Inc()
 		sm.physReadNS.Observe(int64(time.Since(t0)))
 	}
 	if err != nil {
-		return 0, fmt.Errorf("emio: backing read: %w", err)
+		return 0, storeReadError(f.name, f.extents[i], err)
 	}
 	decodeElems(dst, raw[:len(dst)*elemBytes], s.bulk)
 	if ahead > 0 && a.pf[f] == nil {
@@ -446,7 +474,7 @@ func (s *fileStore) startPrefetch(f *File, from, maxBlocks int) *prefetchState {
 		if sm != nil {
 			t0 = time.Now()
 		}
-		_, err := s.fd.ReadAt(ps.buf[:ps.nbytes], ps.startOff)
+		err := s.readAtPhys(f.name, ps.buf[:ps.nbytes], ps.startOff)
 		if sm != nil {
 			sm.prefReads.Inc()
 			sm.prefReadNS.Observe(int64(time.Since(t0)))

@@ -76,10 +76,25 @@ func (s *memStore) read(f *File, i int, buf []Elem) (int, error) {
 	if cap(buf) < len(blk) {
 		return 0, fmt.Errorf("%w: buffer cap %d < block len %d", ErrBlockSize, cap(buf), len(blk))
 	}
+	if d := f.disk; d.Injector() != nil {
+		// Model the block copy as one physical transfer so the fault
+		// injector (and the retry policy above it) applies to the memory
+		// backend too. The offset is the block's dense-log position.
+		off := int64(i) * int64(d.blockSize) * elemBytes
+		if err := d.runPhys(opRead, f.name, off, func() error { return nil }); err != nil {
+			return 0, storeReadError(f.name, off, err)
+		}
+	}
 	return copy(buf[:len(blk)], blk), nil
 }
 
 func (s *memStore) append(f *File, payload []Elem) error {
+	if d := f.disk; d.Injector() != nil {
+		off := int64(len(f.mem)) * int64(d.blockSize) * elemBytes
+		if err := d.runPhys(opWrite, f.name, off, func() error { return nil }); err != nil {
+			return storeWriteError(f.name, off, err)
+		}
+	}
 	var blk []Elem
 	if k := len(s.free); k > 0 && cap(s.free[k-1]) >= len(payload) {
 		blk, s.free[k-1], s.free = s.free[k-1][:len(payload)], nil, s.free[:k-1]
@@ -100,7 +115,41 @@ func (s *memStore) release(f *File) {
 	f.mem = nil
 }
 
+// corruptBlock flips one bit of the stored block image. The in-memory block
+// is held in decoded form, so the on-disk-image bit position is translated
+// through the little-endian record layout.
+func (s *memStore) corruptBlock(f *File, i, bit int) error {
+	byteIdx := bit / 8
+	e := &f.mem[i][byteIdx/elemBytes]
+	word := byteIdx % elemBytes
+	mask := int64(1) << uint((word%8)*8+bit%8)
+	if word < 8 {
+		e.Key ^= mask
+	} else {
+		e.Aux ^= mask
+	}
+	return nil
+}
+
 func (s *memStore) close() error { return nil }
+
+// storeReadError attributes a physical read failure to its file and backing
+// offset. A *TransientError from the retry layer already carries the
+// attribution and passes through unwrapped.
+func storeReadError(fname string, off int64, err error) error {
+	if _, ok := err.(*TransientError); ok {
+		return err
+	}
+	return &FaultError{Op: "read", File: fname, Block: -1, Off: off, Err: err}
+}
+
+// storeWriteError is storeReadError for writes.
+func storeWriteError(fname string, off int64, err error) error {
+	if _, ok := err.(*TransientError); ok {
+		return err
+	}
+	return &FaultError{Op: "write", File: fname, Block: -1, Off: off, Err: err}
+}
 
 // elemBytes is the on-disk size of one element: two little-endian int64s.
 const elemBytes = 16
@@ -119,7 +168,8 @@ const elemBytes = 16
 // buffers. All fields except the ones explicitly protected by mu are owned
 // by the algorithm goroutine.
 type fileStore struct {
-	fd      *os.File
+	fd   *os.File
+	disk *Disk // back-pointer for the resilience layer (retry + injection)
 	end     int64  // append cursor: high-water byte offset of the backing file
 	scratch []byte // synchronous encode/decode scratch, one (padded) block
 	size    int    // block size in elements
@@ -263,16 +313,43 @@ func (s *fileStore) readAhead(f *File, i int, buf []Elem, ahead int) (int, error
 	if sm != nil {
 		t0 = time.Now()
 	}
-	_, err := s.fd.ReadAt(raw, f.extents[i])
+	err := s.readAtPhys(f.name, raw, f.extents[i])
 	if sm != nil {
 		sm.physReads.Inc()
 		sm.physReadNS.Observe(int64(time.Since(t0)))
 	}
 	if err != nil {
-		return 0, fmt.Errorf("emio: backing read: %w", err)
+		return 0, storeReadError(f.name, f.extents[i], err)
 	}
 	decodeElems(buf[:n], raw[:n*elemBytes], s.bulk)
 	return n, nil
+}
+
+// readAtPhys issues one positioned read under the disk's fault injector and
+// retry policy; with neither armed it is a bare ReadAt.
+func (s *fileStore) readAtPhys(fname string, raw []byte, off int64) error {
+	d := s.disk
+	if d == nil || (d.Injector() == nil && d.retry == nil) {
+		_, err := s.fd.ReadAt(raw, off)
+		return err
+	}
+	return d.runPhys(opRead, fname, off, func() error {
+		_, err := s.fd.ReadAt(raw, off)
+		return err
+	})
+}
+
+// writeAtPhys is readAtPhys for positioned writes.
+func (s *fileStore) writeAtPhys(fname string, raw []byte, off int64) error {
+	d := s.disk
+	if d == nil || (d.Injector() == nil && d.retry == nil) {
+		_, err := s.fd.WriteAt(raw, off)
+		return err
+	}
+	return d.runPhys(opWrite, fname, off, func() error {
+		_, err := s.fd.WriteAt(raw, off)
+		return err
+	})
 }
 
 func (s *fileStore) append(f *File, payload []Elem) error {
@@ -294,9 +371,9 @@ func (s *fileStore) append(f *File, payload []Elem) error {
 	raw := s.scratch[:pn]
 	encodeElems(raw[:nbytes], payload, s.bulk)
 	clear(raw[nbytes:])
-	if err := s.physWrite(raw, off); err != nil {
+	if err := s.physWrite(f.name, raw, off); err != nil {
 		s.freeExtent(off, pn)
-		return fmt.Errorf("emio: backing write %s at offset %d: %w", f.name, off, err)
+		return storeWriteError(f.name, off, err)
 	}
 	if sm := s.sm.Load(); sm != nil {
 		sm.writeRunBlocks.Observe(1)
@@ -305,10 +382,12 @@ func (s *fileStore) append(f *File, payload []Elem) error {
 	return nil
 }
 
-// physWrite performs one positioned write, consulting the test-only physical
-// fault hook first (the hook models a device error below the write-behind
-// queue, unreachable through Disk.SetWriteFault which fires at enqueue time).
-func (s *fileStore) physWrite(raw []byte, off int64) error {
+// physWrite performs one positioned write on behalf of fname, consulting the
+// test-only physical fault hook first (the hook models a device error below
+// the write-behind queue, unreachable through Disk.SetWriteFault which fires
+// at enqueue time), then issuing the transfer under the disk's injector and
+// retry policy.
+func (s *fileStore) physWrite(fname string, raw []byte, off int64) error {
 	if s.async != nil && s.async.testWriteErr != nil {
 		if err := s.async.testWriteErr(off); err != nil {
 			return err
@@ -320,12 +399,35 @@ func (s *fileStore) physWrite(raw []byte, off int64) error {
 	if sm != nil {
 		t0 = time.Now()
 	}
-	_, err := s.fd.WriteAt(raw, off)
+	err := s.writeAtPhys(fname, raw, off)
 	if sm != nil {
 		sm.physWrites.Inc()
 		sm.physWriteNS.Observe(int64(time.Since(t0)))
 	}
 	return err
+}
+
+// corruptBlock flips one bit of the stored image of block i of f by a raw
+// read-modify-write of its extent, bypassing counters, injection and retry
+// (harness-side at-rest corruption). Pending pipeline writes of f are
+// drained first and its read-ahead discarded, so the flip lands on settled
+// bytes and is not masked by a stale staging buffer.
+func (s *fileStore) corruptBlock(f *File, i, bit int) error {
+	if s.async != nil {
+		if err := s.drainFile(f); err != nil {
+			return err
+		}
+		s.dropPrefetch(f)
+	}
+	raw := s.scratch[:s.pad(f.blockLen(i)*elemBytes)]
+	if _, err := s.fd.ReadAt(raw, f.extents[i]); err != nil {
+		return fmt.Errorf("emio: corrupt %s block %d: %w", f.name, i, err)
+	}
+	raw[bit/8] ^= 1 << (bit % 8)
+	if _, err := s.fd.WriteAt(raw, f.extents[i]); err != nil {
+		return fmt.Errorf("emio: corrupt %s block %d: %w", f.name, i, err)
+	}
+	return nil
 }
 
 func (s *fileStore) release(f *File) {

@@ -63,6 +63,11 @@ type Span struct {
 	LiveFileDelta int64
 	// Depth is the nesting depth in the trace tree (roots are 0).
 	Depth int
+	// Retries counts the physical-transfer retry attempts the resilience
+	// layer performed during the span (inclusive of children, like IO).
+	// Zero — and omitted from trace JSON — unless a retry policy is armed
+	// and transient faults actually occurred.
+	Retries int64
 	// Seq is the span's start sequence number, assigned by the tracer in
 	// strictly increasing order of StartSpan calls. Children are exported
 	// sorted by Seq, so trace JSON and rendered trees are deterministic by
@@ -83,6 +88,7 @@ type Span struct {
 	startStats    Stats
 	startSeq      int64
 	startLive     int
+	startRetries  int64
 	savedPeakMem  int64
 	savedPeakDisk int64
 }
@@ -142,6 +148,7 @@ func (t *Tracer) start(c *Ctx, name string, attrs []Attr) *Span {
 		startStats:    c.disk.stats,
 		startSeq:      c.scratchSeq,
 		startLive:     c.disk.liveScratch,
+		startRetries:  c.disk.retryCount(),
 		savedPeakMem:  c.mem.peak,
 		savedPeakDisk: c.disk.peakLive,
 	}
@@ -201,6 +208,7 @@ func (sp *Span) finish() {
 	sp.PeakDisk = c.disk.peakLive
 	sp.FilesCreated = c.scratchSeq - sp.startSeq
 	sp.LiveFileDelta = int64(c.disk.liveScratch - sp.startLive)
+	sp.Retries = c.disk.retryCount() - sp.startRetries
 	if sp.savedPeakMem > c.mem.peak {
 		c.mem.peak = sp.savedPeakMem
 	}
@@ -318,6 +326,7 @@ type SpanJSON struct {
 	PeakDisk      int64          `json:"peakDiskBlocks"`
 	FilesCreated  int64          `json:"filesCreated"`
 	LiveFileDelta int64          `json:"liveFileDelta"`
+	Retries       int64          `json:"retries,omitempty"`
 	Children      []SpanJSON     `json:"children,omitempty"`
 }
 
@@ -332,6 +341,7 @@ func (sp *Span) export() SpanJSON {
 		PeakDisk:      sp.PeakDisk,
 		FilesCreated:  sp.FilesCreated,
 		LiveFileDelta: sp.LiveFileDelta,
+		Retries:       sp.Retries,
 	}
 	if len(sp.Attrs) > 0 {
 		j.Attrs = make(map[string]any, len(sp.Attrs))

@@ -181,6 +181,9 @@ func BuildFile(d *Disk, name string, elems []Elem) *File {
 		if err := d.store.append(f, elems[:k]); err != nil {
 			panic(fmt.Sprintf("emio: BuildFile %s: %v", name, err))
 		}
+		if d.checksum {
+			f.sums = append(f.sums, checksumElems(elems[:k]))
+		}
 		f.nblocks++
 		d.noteAlloc(1)
 		f.n += int64(k)

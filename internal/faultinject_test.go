@@ -8,6 +8,7 @@ package internal_test
 
 import (
 	"errors"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -21,6 +22,52 @@ import (
 )
 
 var errInjected = errors.New("injected fault")
+
+// backend constructs a Ctx on one storage backend. The fault sweep runs under
+// all three: the error paths of the pipelined store (worker shutdown, sticky
+// error delivery, prefetch abort) are disjoint from the synchronous ones, and
+// the memory backend is the reference. close must be called before the
+// goroutine-leak check.
+type backend struct {
+	name string
+	mk   func(t *testing.T) (ctx *emio.Ctx, close func() error)
+}
+
+func backendMatrix() []backend {
+	cfg := emio.Config{M: 4096, B: 32}
+	return []backend{
+		{"mem", func(t *testing.T) (*emio.Ctx, func() error) {
+			ctx, err := emio.NewCtx(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ctx, func() error { return nil }
+		}},
+		{"file", func(t *testing.T) (*emio.Ctx, func() error) {
+			d, err := emio.NewFileBackedDisk(filepath.Join(t.TempDir(), "f.dat"), cfg.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, err := emio.NewCtxWithDisk(cfg, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ctx, d.Close
+		}},
+		{"file-pipeline", func(t *testing.T) (*emio.Ctx, func() error) {
+			d, err := emio.NewFileBackedDiskPipeline(filepath.Join(t.TempDir(), "p.dat"), cfg.B,
+				emio.Pipeline{Enabled: true, PrefetchDepth: 4, QueueDepth: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, err := emio.NewCtxWithDisk(cfg, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ctx, d.Close
+		}},
+	}
+}
 
 // algo is one algorithm under fault test. run must return an error when the
 // underlying I/O fails; it gets a fresh ctx and staged input each attempt.
@@ -132,94 +179,100 @@ func runOnce(t *testing.T, a algo) (reads, writes int64) {
 }
 
 func TestReadFaultsSurfaceCleanly(t *testing.T) {
-	for _, a := range algos() {
-		t.Run(a.name, func(t *testing.T) {
-			reads, _ := runOnce(t, a)
-			if reads == 0 {
-				t.Skipf("%s performs no reads", a.name)
-			}
-			for _, frac := range []int64{0, 4, 2, 1} { // first, quarter, half, last
-				point := int64(0)
-				if frac > 0 {
-					point = reads/frac + frac // stagger a little off exact fractions
+	for _, be := range backendMatrix() {
+		for _, a := range algos() {
+			t.Run(be.name+"/"+a.name, func(t *testing.T) {
+				reads, _ := runOnce(t, a)
+				if reads == 0 {
+					t.Skipf("%s performs no reads", a.name)
 				}
-				if point >= reads {
-					point = reads - 1
-				}
-				ctx, err := emio.NewCtx(emio.Config{M: 4096, B: 32})
-				if err != nil {
-					t.Fatal(err)
-				}
-				f := workload.File(ctx.Disk(), workload.Uniform, a.n, 7)
-				ctx.Disk().ResetStats()
-				count := int64(0)
-				ctx.Disk().SetReadFault(func(*emio.File, int) error {
-					count++
-					if count == point+1 {
-						return errInjected
+				for _, frac := range []int64{0, 4, 2, 1} { // first, quarter, half, last
+					point := int64(0)
+					if frac > 0 {
+						point = reads/frac + frac // stagger a little off exact fractions
 					}
-					return nil
-				})
-				err = a.run(ctx, f)
-				ctx.Disk().SetReadFault(nil)
-				if err == nil {
-					t.Errorf("read fault at %d/%d: algorithm reported success", point, reads)
-					continue
+					if point >= reads {
+						point = reads - 1
+					}
+					baseGoroutines := emio.NumGoroutines()
+					ctx, close := be.mk(t)
+					f := workload.File(ctx.Disk(), workload.Uniform, a.n, 7)
+					ctx.Disk().ResetStats()
+					count := int64(0)
+					ctx.Disk().SetReadFault(func(*emio.File, int) error {
+						count++
+						if count == point+1 {
+							return errInjected
+						}
+						return nil
+					})
+					err := a.run(ctx, f)
+					ctx.Disk().SetReadFault(nil)
+					if err == nil {
+						t.Errorf("read fault at %d/%d: algorithm reported success", point, reads)
+						close()
+						continue
+					}
+					if !errors.Is(err, errInjected) {
+						t.Errorf("read fault at %d/%d: error %v does not wrap the injected fault", point, reads, err)
+					}
+					if used := ctx.Mem().Used(); used != 0 {
+						t.Errorf("read fault at %d/%d: leaked %d elements of memory", point, reads, used)
+					}
+					close()
+					emio.RequireNoGoroutineLeaks(t, baseGoroutines)
 				}
-				if !errors.Is(err, errInjected) {
-					t.Errorf("read fault at %d/%d: error %v does not wrap the injected fault", point, reads, err)
-				}
-				if used := ctx.Mem().Used(); used != 0 {
-					t.Errorf("read fault at %d/%d: leaked %d elements of memory", point, reads, used)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
 func TestWriteFaultsSurfaceCleanly(t *testing.T) {
-	for _, a := range algos() {
-		t.Run(a.name, func(t *testing.T) {
-			_, writes := runOnce(t, a)
-			if writes == 0 {
-				t.Skipf("%s performs no writes", a.name)
-			}
-			for _, frac := range []int64{0, 2, 1} {
-				point := int64(0)
-				if frac > 0 {
-					point = writes / frac
+	for _, be := range backendMatrix() {
+		for _, a := range algos() {
+			t.Run(be.name+"/"+a.name, func(t *testing.T) {
+				_, writes := runOnce(t, a)
+				if writes == 0 {
+					t.Skipf("%s performs no writes", a.name)
 				}
-				if point >= writes {
-					point = writes - 1
-				}
-				ctx, err := emio.NewCtx(emio.Config{M: 4096, B: 32})
-				if err != nil {
-					t.Fatal(err)
-				}
-				f := workload.File(ctx.Disk(), workload.Uniform, a.n, 7)
-				ctx.Disk().ResetStats()
-				count := int64(0)
-				ctx.Disk().SetWriteFault(func(*emio.File, int) error {
-					count++
-					if count == point+1 {
-						return errInjected
+				for _, frac := range []int64{0, 2, 1} {
+					point := int64(0)
+					if frac > 0 {
+						point = writes / frac
 					}
-					return nil
-				})
-				err = a.run(ctx, f)
-				ctx.Disk().SetWriteFault(nil)
-				if err == nil {
-					t.Errorf("write fault at %d/%d: algorithm reported success", point, writes)
-					continue
+					if point >= writes {
+						point = writes - 1
+					}
+					baseGoroutines := emio.NumGoroutines()
+					ctx, close := be.mk(t)
+					f := workload.File(ctx.Disk(), workload.Uniform, a.n, 7)
+					ctx.Disk().ResetStats()
+					count := int64(0)
+					ctx.Disk().SetWriteFault(func(*emio.File, int) error {
+						count++
+						if count == point+1 {
+							return errInjected
+						}
+						return nil
+					})
+					err := a.run(ctx, f)
+					ctx.Disk().SetWriteFault(nil)
+					if err == nil {
+						t.Errorf("write fault at %d/%d: algorithm reported success", point, writes)
+						close()
+						continue
+					}
+					if !errors.Is(err, errInjected) {
+						t.Errorf("write fault at %d/%d: error %v does not wrap the injected fault", point, writes, err)
+					}
+					if used := ctx.Mem().Used(); used != 0 {
+						t.Errorf("write fault at %d/%d: leaked %d elements of memory", point, writes, used)
+					}
+					close()
+					emio.RequireNoGoroutineLeaks(t, baseGoroutines)
 				}
-				if !errors.Is(err, errInjected) {
-					t.Errorf("write fault at %d/%d: error %v does not wrap the injected fault", point, writes, err)
-				}
-				if used := ctx.Mem().Used(); used != 0 {
-					t.Errorf("write fault at %d/%d: leaked %d elements of memory", point, writes, used)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -162,6 +162,42 @@ func TestPipelineParitySuite(t *testing.T) {
 			}
 			return sys
 		}},
+		// The resilience layer (checksums + retry) must also be invisible on
+		// the logical model when no faults fire: outputs, Stats and the trace
+		// span tree stay bit-identical to the resilience-off mem baseline.
+		{"mem-resilient", func(t *testing.T) *System {
+			c := cfg
+			c.Checksum = true
+			c.Retry = Retry{MaxAttempts: 3}
+			sys, err := New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		}},
+		{"file-resilient", func(t *testing.T) *System {
+			c := cfg
+			c.Checksum = true
+			c.Retry = Retry{MaxAttempts: 3}
+			sys, err := NewFileBacked(c, filepath.Join(t.TempDir(), "r.dat"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { sys.Close() })
+			return sys
+		}},
+		{"file-pipeline-resilient", func(t *testing.T) *System {
+			c := cfg
+			c.Checksum = true
+			c.Retry = Retry{MaxAttempts: 3}
+			c.Pipeline = Pipeline{Enabled: true, PrefetchDepth: 4, QueueDepth: 4}
+			sys, err := NewFileBacked(c, filepath.Join(t.TempDir(), "rp.dat"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { sys.Close() })
+			return sys
+		}},
 	}
 	if emio.DirectIOSupported(t.TempDir()) {
 		// O_DIRECT pads physical transfers to 512-byte granules; logical
