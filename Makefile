@@ -2,18 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check fault bench bench-compare bench-pr5 microbench table1 examples clean
+.PHONY: all build vet lint test test-short race check fault bench bench-compare bench-pr5 bench-pr6 microbench table1 examples clean
 
-all: build vet test
+all: build lint test
 
-# The default verification path: compile, vet, full tests.
-check: build vet test
+# The default verification path: compile, lint, full tests.
+check: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always; staticcheck when installed (the repo takes
+# no module dependencies, so the binary is opportunistic, not vendored).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -48,6 +57,13 @@ bench-compare:
 # CRC32C off vs on, pipeline off and on). JSON goes to BENCH_pr5.json.
 bench-pr5:
 	$(GO) run ./cmd/embench -suite pr5 > BENCH_pr5.json
+
+# Regenerate the telemetry-overhead A/B document (sort/partition/splitters,
+# tracer+metrics+event log off vs on, pipeline off and on). The contract:
+# logical I/O identical, wall-clock overhead within a few percent. JSON goes
+# to BENCH_pr6.json.
+bench-pr6:
+	$(GO) run ./cmd/embench -suite pr6 > BENCH_pr6.json
 
 microbench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

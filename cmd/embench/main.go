@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -50,13 +51,14 @@ var (
 	flagPre     = flag.Int("prefetch", 0, "read-ahead depth in blocks; >0 enables the async pipeline (file-backed only)")
 	flagWB      = flag.Int("writebehind", 0, "write-behind queue depth in blocks; >0 enables the async pipeline (file-backed only)")
 	flagDirect  = flag.Bool("direct", false, "open backing files with O_DIRECT, bypassing the page cache (file-backed only)")
-	flagSuite   = flag.String("suite", "", "named suite: 'pr3' (pipeline A/B) or 'pr5' (checksum A/B); emits the suite JSON and exits")
+	flagSuite   = flag.String("suite", "", "named suite: 'pr3' (pipeline A/B), 'pr5' (checksum A/B) or 'pr6' (telemetry A/B); emits the suite JSON and exits")
 	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
 	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
 	flagCompare = flag.String("compare", "", "baseline BENCH_pr3.json: rerun the pr3 suite, diff against it, and exit nonzero on any logical-I/O or >20% wall-clock regression")
 	flagProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the benchmarks run")
 	flagProg    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+	flagTop     = flag.Bool("top", false, "render a live terminal dashboard to stderr while the benchmarks run")
 )
 
 // telReg, when non-nil, is the shared metrics registry every benchmark System
@@ -67,7 +69,7 @@ var telReg *metrics.Registry
 // startTelemetry arms telReg and the opt-in scrape endpoint and progress
 // reporter; the returned stop function flushes and shuts them down.
 func startTelemetry() (func(), error) {
-	if *flagMetrics == "" && *flagProg == 0 {
+	if *flagMetrics == "" && *flagProg == 0 && !*flagTop {
 		return func() {}, nil
 	}
 	telReg = metrics.New()
@@ -92,12 +94,24 @@ func startTelemetry() (func(), error) {
 			}
 		})
 	}
+	var dash *metrics.Dash
+	if *flagTop {
+		reg := telReg
+		dash = metrics.StartDash(os.Stderr, time.Second, 0, func() (metrics.Snapshot, error) {
+			return reg.Snapshot(), nil
+		})
+	}
 	return func() {
 		if rep != nil {
 			rep.Stop()
 		}
+		if dash != nil {
+			dash.Stop()
+		}
 		if srv != nil {
-			srv.Close()
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "embench: metrics server: %v\n", err)
+			}
 		}
 	}, nil
 }
@@ -212,8 +226,13 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	case "pr6":
+		if err := runPR6(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	default:
-		log.Fatalf("unknown suite %q (supported: pr3, pr5)", *flagSuite)
+		log.Fatalf("unknown suite %q (supported: pr3, pr5, pr6)", *flagSuite)
 	}
 	if *flagQuick {
 		*flagN = 1 << 15
@@ -1130,6 +1149,212 @@ func runPR5Doc() (pr5Doc, error) {
 				}
 				fmt.Fprintf(os.Stderr, "pr5: %-8s %-9s n=%-8d plain %8.2fms  checksum %8.2fms  overhead %.3fx  ioMatch=%v\n",
 					mode, b.name, n, float64(off.WallNS)/1e6, float64(on.WallNS)/1e6, on.Overhead, on.IOMatch)
+			}
+		}
+	}
+	return doc, nil
+}
+
+// --- suite pr6: telemetry overhead A/B --------------------------------------
+//
+// The telemetry bus is contractually observational: tracer, metrics registry
+// and structured event log may never change logical I/O. This suite prices
+// what the full stack costs on the wall clock. It runs sort, partition and
+// splitters on file-backed disks, pipeline off and on, in three telemetry
+// modes: off, the production config ("info" — tracer + metrics + event log
+// keeping faults/retries/warnings), and verbose narration ("debug" — the
+// same stack with every phase boundary becoming a JSON line). Overhead is
+// reported next to the (required-identical) logical counters.
+
+type pr6Row struct {
+	Bench     string  `json:"bench"`
+	N         int64   `json:"n"`
+	Pipeline  bool    `json:"pipeline"`
+	Telemetry string  `json:"telemetry"` // "off", "info", "debug"
+	Reads     int64   `json:"reads"`
+	Writes    int64   `json:"writes"`
+	IOs       int64   `json:"ios"`
+	WallNS    int64   `json:"wallNs"`
+	NsPerElem float64 `json:"nsPerElem"`
+	MBps      float64 `json:"mbps"`
+	// Telemetry-on rows only: how many events the run logged, wall(on)/wall(off)
+	// against the matching telemetry-off row, and whether the logical I/O
+	// counters matched it.
+	LogEvents int64   `json:"logEvents,omitempty"`
+	Overhead  float64 `json:"overhead,omitempty"`
+	IOMatch   bool    `json:"ioMatch,omitempty"`
+}
+
+type pr6Doc struct {
+	Suite  string `json:"suite"`
+	Config struct {
+		M    int `json:"m"`
+		B    int `json:"b"`
+		Reps int `json:"reps"`
+	} `json:"config"`
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"host"`
+	Rows []pr6Row `json:"rows"`
+}
+
+// runPR6 runs the telemetry A/B suite and encodes the document to w.
+func runPR6(w io.Writer) error {
+	doc, err := runPR6Doc()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func runPR6Doc() (pr6Doc, error) {
+	var doc pr6Doc
+	dir, err := os.MkdirTemp("", "embench-pr6-")
+	if err != nil {
+		return doc, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := empart.Config{M: 1 << 12, B: 1 << 5}
+	sizes := []int64{1 << 17, 1 << 19}
+	const reps = 3
+	if *flagQuick {
+		sizes = []int64{1 << 14, 1 << 16}
+	}
+
+	type bench struct {
+		name string
+		run  func(sys *empart.System, f *empart.File, n int64) error
+	}
+	benches := []bench{
+		{"sort", func(sys *empart.System, f *empart.File, n int64) error {
+			out, err := sys.Sort(f)
+			if err != nil {
+				return err
+			}
+			out.Release()
+			return nil
+		}},
+		{"partition", func(sys *empart.System, f *empart.File, n int64) error {
+			res, err := sys.Partition(f, empart.Params{K: 64, A: 0, B: n / 16})
+			if err != nil {
+				return err
+			}
+			res.Release()
+			return nil
+		}},
+		{"splitters", func(sys *empart.System, f *empart.File, n int64) error {
+			out, err := sys.Splitters(f, empart.Params{K: 64, A: 64, B: n})
+			if err != nil {
+				return err
+			}
+			out.Release()
+			return nil
+		}},
+	}
+
+	seq := 0
+	observe := func(b bench, n int64, pipelined bool, telemetry string) (pr6Row, error) {
+		var best time.Duration
+		var stats empart.Stats
+		var events int64
+		for rep := 0; rep < reps; rep++ {
+			c := cfg
+			if pipelined {
+				c.Pipeline = empart.Pipeline{Enabled: true}
+			}
+			seq++
+			path := filepath.Join(dir, fmt.Sprintf("run-%d.dat", seq))
+			sys, err := empart.NewFileBacked(c, path)
+			if err != nil {
+				return pr6Row{}, err
+			}
+			if telemetry != "off" {
+				sys.EnableMetrics()
+				sys.EnableTracing()
+				level := slog.LevelInfo
+				if telemetry == "debug" {
+					// Verbose mode: every phase boundary becomes a JSON line.
+					level = slog.LevelDebug
+				}
+				logPath := filepath.Join(dir, fmt.Sprintf("run-%d.jsonl", seq))
+				_, err := sys.EnableLog(empart.LogConfig{Level: level, Path: logPath})
+				if err != nil {
+					return pr6Row{}, err
+				}
+				defer os.Remove(logPath)
+			}
+			f := sys.Stage(workload.Elems(workload.Uniform, int(n), cfg.B, 0x9426))
+			sys.ResetStats()
+			start := time.Now()
+			runErr := b.run(sys, f, n)
+			wall := time.Since(start)
+			st := sys.Stats()
+			var total int64
+			if el := sys.EventLog(); el != nil {
+				total = el.Total()
+			}
+			sys.Close()
+			os.Remove(path)
+			if runErr != nil {
+				return pr6Row{}, fmt.Errorf("%s n=%d telemetry=%s: %w", b.name, n, telemetry, runErr)
+			}
+			if rep == 0 {
+				stats, best, events = st, wall, total
+			} else {
+				if st != stats {
+					return pr6Row{}, fmt.Errorf("%s n=%d telemetry=%s: I/O counts differ across reps: %v vs %v",
+						b.name, n, telemetry, st, stats)
+				}
+				if wall < best {
+					best = wall
+				}
+			}
+		}
+		r := pr6Row{
+			Bench: b.name, N: n, Pipeline: pipelined, Telemetry: telemetry,
+			Reads: stats.Reads, Writes: stats.Writes, IOs: stats.Total(),
+			LogEvents: events,
+		}
+		if best > 0 {
+			r.WallNS = best.Nanoseconds()
+			r.NsPerElem = float64(best.Nanoseconds()) / float64(n)
+			r.MBps = float64(r.IOs*int64(cfg.B)*16) / best.Seconds() / 1e6
+		}
+		return r, nil
+	}
+
+	doc.Suite = "pr6"
+	doc.Config.M, doc.Config.B, doc.Config.Reps = cfg.M, cfg.B, reps
+	doc.Host.GOOS, doc.Host.GOARCH, doc.Host.GOMAXPROCS = runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)
+
+	for _, b := range benches {
+		for _, n := range sizes {
+			for _, pipelined := range []bool{false, true} {
+				off, err := observe(b, n, pipelined, "off")
+				if err != nil {
+					return doc, err
+				}
+				doc.Rows = append(doc.Rows, off)
+				mode := "sync"
+				if pipelined {
+					mode = "pipeline"
+				}
+				for _, level := range []string{"info", "debug"} {
+					on, err := observe(b, n, pipelined, level)
+					if err != nil {
+						return doc, err
+					}
+					on.Overhead = float64(on.WallNS) / float64(off.WallNS)
+					on.IOMatch = off.Reads == on.Reads && off.Writes == on.Writes
+					doc.Rows = append(doc.Rows, on)
+					fmt.Fprintf(os.Stderr, "pr6: %-8s %-9s n=%-8d off %8.2fms  %-5s %8.2fms  overhead %.3fx  events=%d  ioMatch=%v\n",
+						mode, b.name, n, float64(off.WallNS)/1e6, level, float64(on.WallNS)/1e6, on.Overhead, on.LogEvents, on.IOMatch)
+				}
 			}
 		}
 	}

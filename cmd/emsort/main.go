@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"strconv"
 	"time"
@@ -44,6 +45,9 @@ var (
 	flagProg    = flag.Duration("progress", 0, "print a progress/ETA line to the report stream at this interval (0 = off)")
 	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
 	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
+	flagLog     = flag.String("log", "", "append structured JSON-lines event log to this file")
+	flagOTLP    = flag.String("otlp", "", "write OTLP/JSON trace+metrics export to PREFIX.trace.json / PREFIX.metrics.json (implies tracing and metrics)")
+	flagTop     = flag.Bool("top", false, "render a live terminal dashboard to stderr while the job runs")
 )
 
 // runOpts carries one emsort invocation.
@@ -53,6 +57,8 @@ type runOpts struct {
 	trace       bool
 	metricsAddr string
 	progress    time.Duration
+	otlp        string
+	top         bool
 }
 
 func main() {
@@ -83,11 +89,14 @@ func main() {
 			M: *flagM, B: *flagB,
 			Checksum: *flagSum,
 			Retry:    empart.Retry{MaxAttempts: *flagRetry},
+			Log:      empart.LogConfig{Level: slog.LevelDebug, Path: *flagLog},
 		},
 		backing:     *flagBacking,
 		trace:       *flagTrace,
 		metricsAddr: *flagMetrics,
 		progress:    *flagProg,
+		otlp:        *flagOTLP,
+		top:         *flagTop,
 	}
 	if err := run(o, in, dst, os.Stderr); err != nil {
 		log.Fatal(renderErr(err))
@@ -115,10 +124,13 @@ func renderErr(err error) string {
 // totalIOs, the paper-model I/O bound for the job. The returned stop
 // function flushes the final progress line and shuts the endpoint down.
 func startTelemetry(sys *empart.System, o runOpts, totalIOs int64, report io.Writer) (func(), error) {
-	if o.metricsAddr == "" && o.progress == 0 {
+	if o.metricsAddr == "" && o.progress == 0 && o.otlp == "" && !o.top {
 		return func() {}, nil
 	}
 	reg := sys.EnableMetrics()
+	if o.otlp != "" && sys.Tracer() == nil {
+		sys.EnableTracing()
+	}
 	var srv *metrics.Server
 	if o.metricsAddr != "" {
 		var err error
@@ -142,14 +154,54 @@ func startTelemetry(sys *empart.System, o runOpts, totalIOs int64, report io.Wri
 			}
 		})
 	}
+	var dash *metrics.Dash
+	if o.top {
+		dash = metrics.StartDash(os.Stderr, time.Second, 0, func() (metrics.Snapshot, error) {
+			return reg.Snapshot(), nil
+		})
+	}
 	return func() {
 		if rep != nil {
 			rep.Stop()
 		}
+		if dash != nil {
+			dash.Stop()
+		}
 		if srv != nil {
-			srv.Close()
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(report, "emsort: metrics server: %v\n", err)
+			}
+		}
+		if o.otlp != "" {
+			if err := writeOTLP(sys, o.otlp); err != nil {
+				fmt.Fprintf(report, "emsort: otlp export: %v\n", err)
+			}
 		}
 	}, nil
+}
+
+// writeOTLP exports the run's trace and metrics as OTLP/JSON documents next
+// to each other: prefix.trace.json and prefix.metrics.json.
+func writeOTLP(sys *empart.System, prefix string) error {
+	tr, err := sys.TraceOTLP("emsort")
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		if err := os.WriteFile(prefix+".trace.json", tr, 0o644); err != nil {
+			return err
+		}
+	}
+	mt, err := sys.MetricsOTLP("emsort")
+	if err != nil {
+		return err
+	}
+	if mt != nil {
+		if err := os.WriteFile(prefix+".metrics.json", mt, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // run reads integers from in, sorts them on an EM machine of the given

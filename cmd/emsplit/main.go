@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -30,22 +31,25 @@ import (
 )
 
 var (
-	flagAlgo  = flag.String("algo", "splitters", "splitters | partition | multiselect | multipartition | precise | sort | histogram")
-	flagN     = flag.Int("n", 1<<18, "input size N")
-	flagM     = flag.Int("m", 1<<12, "memory size M")
-	flagB     = flag.Int("b", 1<<5, "block size B")
-	flagK     = flag.Int64("k", 64, "partition/splitter/rank count K")
-	flagA     = flag.Int64("a", 0, "lower size bound a")
-	flagBMax  = flag.Int64("bmax", 0, "upper size bound b (0 means N)")
-	flagDist  = flag.String("dist", "uniform", "input distribution")
-	flagSeed  = flag.Uint64("seed", 1, "workload seed")
-	flagLo    = flag.Float64("lo", 0, "histogram: relative slack below N/K")
-	flagHi    = flag.Float64("hi", 0, "histogram: relative slack above N/K")
+	flagAlgo    = flag.String("algo", "splitters", "splitters | partition | multiselect | multipartition | precise | sort | histogram")
+	flagN       = flag.Int("n", 1<<18, "input size N")
+	flagM       = flag.Int("m", 1<<12, "memory size M")
+	flagB       = flag.Int("b", 1<<5, "block size B")
+	flagK       = flag.Int64("k", 64, "partition/splitter/rank count K")
+	flagA       = flag.Int64("a", 0, "lower size bound a")
+	flagBMax    = flag.Int64("bmax", 0, "upper size bound b (0 means N)")
+	flagDist    = flag.String("dist", "uniform", "input distribution")
+	flagSeed    = flag.Uint64("seed", 1, "workload seed")
+	flagLo      = flag.Float64("lo", 0, "histogram: relative slack below N/K")
+	flagHi      = flag.Float64("hi", 0, "histogram: relative slack above N/K")
 	flagTrace   = flag.Bool("trace", false, "append a phase trace (span tree with I/O and memory attribution) to the report")
 	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
 	flagProg    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
 	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
+	flagLog     = flag.String("log", "", "append structured JSON-lines event log to this file")
+	flagOTLP    = flag.String("otlp", "", "write OTLP/JSON trace+metrics export to PREFIX.trace.json / PREFIX.metrics.json (implies tracing and metrics)")
+	flagTop     = flag.Bool("top", false, "render a live terminal dashboard to stderr while the job runs")
 )
 
 // options carries one emsplit invocation.
@@ -61,6 +65,9 @@ type options struct {
 	trace    bool
 	checksum bool
 	retry    int
+	logPath  string
+	otlp     string
+	top      bool
 
 	metricsAddr string
 	progress    time.Duration
@@ -76,6 +83,7 @@ func main() {
 		k: *flagK, a: *flagA, bmax: *flagBMax,
 		dist: *flagDist, seed: *flagSeed, lo: *flagLo, hi: *flagHi,
 		trace: *flagTrace, checksum: *flagSum, retry: *flagRetry,
+		logPath: *flagLog, otlp: *flagOTLP, top: *flagTop,
 		metricsAddr: *flagMetrics, progress: *flagProg, progressOut: os.Stderr,
 	})
 	if err != nil {
@@ -106,11 +114,15 @@ func execute(o options) (string, error) {
 		M: o.m, B: o.b,
 		Checksum: o.checksum,
 		Retry:    empart.Retry{MaxAttempts: o.retry},
+		Log:      empart.LogConfig{Level: slog.LevelDebug, Path: o.logPath},
 	}
 	sys, err := empart.New(cfg)
 	if err != nil {
 		return "", err
 	}
+	// Close flushes the buffered event-log file sink; without it a -log run
+	// of the in-memory backend would leave an empty JSONL file.
+	defer sys.Close()
 	kind, err := workload.KindByName(o.dist)
 	if err != nil {
 		return "", err
@@ -238,7 +250,7 @@ func execute(o options) (string, error) {
 // is not known upfront, so progress lines stream phase, work done and rate
 // without an ETA. The returned stop function is safe to call once.
 func startTelemetry(sys *empart.System, o options) (func(), error) {
-	if o.metricsAddr == "" && o.progress == 0 {
+	if o.metricsAddr == "" && o.progress == 0 && o.otlp == "" && !o.top {
 		return func() {}, nil
 	}
 	out := o.progressOut
@@ -246,6 +258,9 @@ func startTelemetry(sys *empart.System, o options) (func(), error) {
 		out = os.Stderr
 	}
 	reg := sys.EnableMetrics()
+	if o.otlp != "" && sys.Tracer() == nil {
+		sys.EnableTracing()
+	}
 	var srv *metrics.Server
 	if o.metricsAddr != "" {
 		var err error
@@ -266,14 +281,54 @@ func startTelemetry(sys *empart.System, o options) (func(), error) {
 			}
 		})
 	}
+	var dash *metrics.Dash
+	if o.top {
+		dash = metrics.StartDash(out, time.Second, 0, func() (metrics.Snapshot, error) {
+			return reg.Snapshot(), nil
+		})
+	}
 	return func() {
 		if rep != nil {
 			rep.Stop()
 		}
+		if dash != nil {
+			dash.Stop()
+		}
 		if srv != nil {
-			srv.Close()
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(out, "emsplit: metrics server: %v\n", err)
+			}
+		}
+		if o.otlp != "" {
+			if err := writeOTLP(sys, o.otlp); err != nil {
+				fmt.Fprintf(out, "emsplit: otlp export: %v\n", err)
+			}
 		}
 	}, nil
+}
+
+// writeOTLP exports the run's trace and metrics as OTLP/JSON documents:
+// prefix.trace.json and prefix.metrics.json.
+func writeOTLP(sys *empart.System, prefix string) error {
+	tr, err := sys.TraceOTLP("emsplit")
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		if err := os.WriteFile(prefix+".trace.json", tr, 0o644); err != nil {
+			return err
+		}
+	}
+	mt, err := sys.MetricsOTLP("emsplit")
+	if err != nil {
+		return err
+	}
+	if mt != nil {
+		if err := os.WriteFile(prefix+".metrics.json", mt, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func equiRanks(n, k int64) []int64 {

@@ -32,6 +32,9 @@
 package empart
 
 import (
+	"log/slog"
+	"time"
+
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/distsort"
@@ -104,6 +107,14 @@ type (
 	MetricsRegistry = metrics.Registry
 	// MetricsSnapshot is a point-in-time copy of every metric on a registry.
 	MetricsSnapshot = metrics.Snapshot
+	// LogConfig arms the structured event log (Config.Log): ring capacity,
+	// level, JSON-lines path, extra handler.
+	LogConfig = emio.LogConfig
+	// EventLog is the span-aware structured log sink; attach one with
+	// System.EnableLog or Config.Log.
+	EventLog = emio.EventLog
+	// LogEvent is one record of the event log's in-memory ring.
+	LogEvent = emio.Event
 )
 
 // Re-exported variant constants.
@@ -313,6 +324,60 @@ func (s *System) Metrics() MetricsSnapshot {
 		return m.Snapshot()
 	}
 	return MetricsSnapshot{}
+}
+
+// SetLogger attaches (or, with nil, detaches) a structured log sink. Every
+// Disk, pipeline, retry and fault event is delivered to h as a log/slog
+// record enriched with the active span's phase path, span seq and disk id.
+// Strictly observational: outputs, Stats and trace JSON are bit-identical
+// with logging on or off.
+func (s *System) SetLogger(h slog.Handler) { s.ctx.Disk().SetLogHandler(h) }
+
+// EnableLog attaches a fresh event log built from cfg and returns it. The
+// returned log's ring can be inspected with Events; its JSON-lines file sink
+// (cfg.Path) is closed by System.Close.
+func (s *System) EnableLog(cfg LogConfig) (*EventLog, error) {
+	el, err := emio.NewEventLog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.ctx.Disk().AttachEventLog(el)
+	return el, nil
+}
+
+// EventLog returns the attached event log, or nil when none was created
+// through EnableLog or Config.Log.
+func (s *System) EventLog() *EventLog { return s.ctx.Disk().EventLog() }
+
+// LogEvents returns the attached event log's ring contents, oldest first
+// (nil when logging is disabled).
+func (s *System) LogEvents() []LogEvent {
+	if el := s.ctx.Disk().EventLog(); el != nil {
+		return el.Events()
+	}
+	return nil
+}
+
+// TraceOTLP exports the attached tracer's span tree as an OTLP/JSON
+// ExportTraceServiceRequest document ready for any OTLP collector or for
+// Jaeger/Perfetto import. Returns nil when no tracer is attached.
+func (s *System) TraceOTLP(service string) ([]byte, error) {
+	t := s.ctx.Tracer()
+	if t == nil {
+		return nil, nil
+	}
+	return t.OTLP(service)
+}
+
+// MetricsOTLP exports a snapshot of the attached registry as an OTLP/JSON
+// ExportMetricsServiceRequest document, exemplar span seqs included. Returns
+// nil when metrics are disabled.
+func (s *System) MetricsOTLP(service string) ([]byte, error) {
+	reg := s.MetricsRegistry()
+	if reg == nil {
+		return nil, nil
+	}
+	return reg.OTLP(service, time.Now())
 }
 
 // LiveFiles returns the names of all files currently live on the simulated

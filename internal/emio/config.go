@@ -18,6 +18,9 @@ import (
 // verification on every read, and bounded retry of transient physical-I/O
 // failures. Both are bit-identical on the logical model — with no faults
 // injected, outputs, Stats and trace JSON match a resilience-off run.
+//
+// Log arms the structured event log (see LogConfig); like the other
+// telemetry legs it is strictly observational and changes no outputs.
 type Config struct {
 	M int // memory capacity, in elements
 	B int // block size, in elements
@@ -26,6 +29,8 @@ type Config struct {
 
 	Checksum bool  // verify per-block CRC32C checksums on every read
 	Retry    Retry // bounded retry of transient physical-transfer failures
+
+	Log LogConfig // structured event log (ring + JSON-lines + extra handler)
 }
 
 // Pipeline configures the asynchronous prefetch/write-behind pipeline of a
@@ -92,6 +97,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: memory M=%d with block size B=%d, need M >= 2B", ErrBadConfig, c.M, c.B)
 	}
 	if err := c.Retry.validate(); err != nil {
+		return err
+	}
+	if err := c.Log.validate(); err != nil {
 		return err
 	}
 	return c.Pipeline.validate()

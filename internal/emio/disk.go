@@ -3,6 +3,7 @@ package emio
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"slices"
 	"sync/atomic"
 
@@ -52,6 +53,19 @@ type Disk struct {
 	// never touches stats, fault hooks or the store's logical state.
 	iom *IOMetrics
 
+	// Structured event log (see eventlog.go); logger is nil when logging is
+	// disabled (one nil check per emission site). id names the disk in log
+	// records; elog is an owned EventLog closed with the disk. logStack and
+	// curSpan carry the live span context into records: the stack is mutated
+	// only on the algorithm goroutine, the pointer is read by pipeline and
+	// retry goroutines. spanSeq numbers spans when no tracer supplies one.
+	id       string
+	logger   *slog.Logger
+	elog     *EventLog
+	logStack []spanRef
+	curSpan  atomic.Pointer[spanRef]
+	spanSeq  int64
+
 	// Resilience layer (all opt-in, see EnableChecksums/SetRetry/
 	// SetInjector). checksum arms per-block CRC32C verification; retry is
 	// the bounded-retry policy applied to physical transfers; inj is the
@@ -68,13 +82,17 @@ type Disk struct {
 // ErrReleased is returned when accessing a File whose storage was released.
 var ErrReleased = errors.New("emio: file has been released")
 
+// diskSeq numbers disks process-wide for log attribution.
+var diskSeq atomic.Int64
+
 // NewDisk creates a memory-backed disk with the given block size in
 // elements.
 func NewDisk(blockSize int) *Disk {
 	if blockSize < 1 {
 		panic(fmt.Sprintf("emio.NewDisk: block size %d < 1", blockSize))
 	}
-	return &Disk{blockSize: blockSize, store: newMemStore()}
+	return &Disk{blockSize: blockSize, store: newMemStore(),
+		id: fmt.Sprintf("mem-%d", diskSeq.Add(1))}
 }
 
 // NewFileBackedDisk creates a disk whose blocks live in a real file at path
@@ -99,7 +117,8 @@ func NewFileBackedDiskPipeline(path string, blockSize int, p Pipeline) (*Disk, e
 	if err != nil {
 		return nil, err
 	}
-	d := &Disk{blockSize: blockSize, store: st}
+	d := &Disk{blockSize: blockSize, store: st,
+		id: fmt.Sprintf("file-%d", diskSeq.Add(1))}
 	// Back-pointer for the resilience layer (retry + fault injection around
 	// physical transfers). Set before any I/O, so the store's channel
 	// handoffs order it ahead of every pipeline goroutine that reads it.
@@ -177,9 +196,21 @@ func (d *Disk) EnableMetrics(reg *metrics.Registry) *IOMetrics {
 // Metrics returns the live instrument bundle, nil when metrics are disabled.
 func (d *Disk) Metrics() *IOMetrics { return d.iom }
 
+// ID returns the disk's diagnostic identity, as carried by log records.
+func (d *Disk) ID() string { return d.id }
+
 // Close releases backend resources (the backing file for file-backed disks;
-// a no-op for memory-backed ones).
-func (d *Disk) Close() error { return d.store.close() }
+// a no-op for memory-backed ones) and closes an owned event log's file sink.
+func (d *Disk) Close() error {
+	err := d.store.close()
+	if d.elog != nil {
+		d.log(slog.LevelDebug, "disk closed")
+		if cerr := d.elog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // BlockSize returns the block size B in elements.
 func (d *Disk) BlockSize() int { return d.blockSize }
@@ -238,7 +269,14 @@ func (d *Disk) retryCount() int64 {
 // SetInjector installs (or, with nil, removes) a physical fault injector,
 // consulted by every backing transfer below the retry layer. Harness-side;
 // configure before I/O starts.
-func (d *Disk) SetInjector(inj *Injector) { d.inj.Store(inj) }
+func (d *Disk) SetInjector(inj *Injector) {
+	d.inj.Store(inj)
+	if inj != nil {
+		d.log(slog.LevelDebug, "fault injector armed")
+	} else {
+		d.log(slog.LevelDebug, "fault injector removed")
+	}
+}
 
 // Injector returns the installed fault injector, nil when none is armed.
 func (d *Disk) Injector() *Injector { return d.inj.Load() }
@@ -268,6 +306,8 @@ func (d *Disk) CorruptBlock(f *File, i, bit int) error {
 	if !ok {
 		return fmt.Errorf("emio: store %T cannot corrupt blocks", d.store)
 	}
+	d.log(slog.LevelWarn, "block corrupted at rest (harness)",
+		slog.String("file", f.name), slog.Int("block", i), slog.Int("bit", bit))
 	return c.corruptBlock(f, i, bit)
 }
 
@@ -354,6 +394,8 @@ func (d *Disk) markScratch(f *File) {
 	if d.iom != nil {
 		d.iom.liveScratch.Set(int64(d.liveScratch))
 	}
+	d.log(slog.LevelDebug, "scratch file created",
+		slog.String("file", f.name), slog.Int("live_scratch", d.liveScratch))
 }
 
 // noteRelease removes a file from the live registry (called by File.Release).
@@ -364,6 +406,9 @@ func (d *Disk) noteRelease(f *File) {
 		if d.iom != nil {
 			d.iom.liveScratch.Set(int64(d.liveScratch))
 		}
+		d.log(slog.LevelDebug, "scratch file released",
+			slog.String("file", f.name), slog.Int("blocks", f.nblocks),
+			slog.Int("live_scratch", d.liveScratch))
 	}
 }
 

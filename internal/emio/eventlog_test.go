@@ -1,0 +1,201 @@
+package emio
+
+import (
+	"log/slog"
+	"testing"
+)
+
+func TestEventLogRingEviction(t *testing.T) {
+	el, err := NewEventLog(LogConfig{Enabled: true, Ring: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := slog.New(el)
+	for i := 0; i < 10; i++ {
+		lg.Info("event", "i", i)
+	}
+	if got := el.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	evs := el.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// Oldest-first: the survivors are events 6..9.
+	for i, ev := range evs {
+		if got := ev.Attrs["i"]; got != int64(6+i) {
+			t.Errorf("ring[%d].i = %v, want %d", i, got, 6+i)
+		}
+	}
+}
+
+func TestEventLogLevelFilter(t *testing.T) {
+	el, err := NewEventLog(LogConfig{Enabled: true}) // zero Level = Info
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := slog.New(el)
+	lg.Debug("dropped")
+	lg.Warn("kept")
+	evs := el.Events()
+	if len(evs) != 1 || evs[0].Msg != "kept" {
+		t.Fatalf("events = %+v, want only the warning", evs)
+	}
+	if el.Total() != 1 {
+		t.Errorf("Total = %d, want 1", el.Total())
+	}
+}
+
+func TestEventLogWithAttrsAndGroupsFlatten(t *testing.T) {
+	el, err := NewEventLog(LogConfig{Enabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := slog.New(el).With("bound", "yes").WithGroup("grp")
+	lg.Info("msg", "k", 7)
+	evs := el.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	a := evs[0].Attrs
+	if a["bound"] != "yes" {
+		t.Errorf("bound attr = %v", a["bound"])
+	}
+	if a["grp.k"] != int64(7) {
+		t.Errorf("grouped attr grp.k = %v, want 7", a["grp.k"])
+	}
+}
+
+func TestDiskLogSpanEnrichment(t *testing.T) {
+	// Events emitted inside nested spans carry the slash-joined phase path
+	// and the span's seq; events outside any span carry neither.
+	ctx := mustCtx(t, 64, 8)
+	tr := NewTracer()
+	ctx.SetTracer(tr)
+	el, err := NewEventLog(LogConfig{Enabled: true, Level: slog.LevelDebug})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ctx.Disk()
+	d.AttachEventLog(el)
+
+	root := ctx.StartSpan("outer")
+	inner := ctx.StartSpan("inner")
+	d.log(slog.LevelInfo, "inside")
+	inner.End()
+	root.End()
+	d.log(slog.LevelInfo, "outside")
+
+	var inside, outside *Event
+	for i := range el.Events() {
+		ev := el.Events()[i]
+		switch ev.Msg {
+		case "inside":
+			inside = &ev
+		case "outside":
+			outside = &ev
+		}
+	}
+	if inside == nil || outside == nil {
+		t.Fatalf("missing events: %+v", el.Events())
+	}
+	if got := inside.Attrs["phase"]; got != "outer/inner" {
+		t.Errorf("inside phase = %v, want outer/inner", got)
+	}
+	seq, ok := inside.Attrs["span_seq"].(int64)
+	if !ok || len(tr.Find("inner")) != 1 || tr.Find("inner")[0].Seq != seq {
+		t.Errorf("inside span_seq = %v, want the inner span's seq", inside.Attrs["span_seq"])
+	}
+	if _, ok := outside.Attrs["phase"]; ok {
+		t.Errorf("event outside all spans carries phase = %v", outside.Attrs["phase"])
+	}
+	if outside.Attrs["disk"] == nil {
+		t.Error("event lacks the disk id attr")
+	}
+	// Phase boundaries themselves were narrated at debug level.
+	started := 0
+	for _, ev := range el.Events() {
+		if ev.Msg == "phase started" {
+			started++
+		}
+	}
+	if started != 2 {
+		t.Errorf("phase started events = %d, want 2", started)
+	}
+}
+
+func TestDiskLogWithoutTracer(t *testing.T) {
+	// The event log works with no tracer attached: StartSpan still assigns
+	// seqs and maintains the phase path for enrichment.
+	ctx := mustCtx(t, 64, 8)
+	el, err := NewEventLog(LogConfig{Enabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ctx.Disk()
+	d.AttachEventLog(el)
+	sp := ctx.StartSpan("solo")
+	d.log(slog.LevelInfo, "hello")
+	sp.End()
+	evs := el.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1 (phase events are debug-level)", len(evs))
+	}
+	if evs[0].Attrs["phase"] != "solo" {
+		t.Errorf("phase = %v, want solo", evs[0].Attrs["phase"])
+	}
+}
+
+func TestCtxConfigArmsEventLog(t *testing.T) {
+	// Config.Log plumbs through NewCtx: an armed config attaches an owned
+	// event log; an unarmed one leaves logging off.
+	ctx, err := NewCtx(Config{M: 64, B: 8, Log: LogConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Disk().EventLog() == nil {
+		t.Fatal("armed Config.Log did not attach an event log")
+	}
+	off := mustCtx(t, 64, 8)
+	if off.Disk().EventLog() != nil || off.Disk().Logger() != nil {
+		t.Fatal("unarmed config attached logging")
+	}
+}
+
+func TestLogConfigValidate(t *testing.T) {
+	if _, err := NewCtx(Config{M: 64, B: 8, Log: LogConfig{Ring: -1}}); err == nil {
+		t.Fatal("negative ring capacity validated")
+	}
+}
+
+func TestSetLogHandlerDetach(t *testing.T) {
+	ctx := mustCtx(t, 64, 8)
+	d := ctx.Disk()
+	el, err := NewEventLog(LogConfig{Enabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetLogHandler(el)
+	d.log(slog.LevelInfo, "one")
+	d.SetLogHandler(nil)
+	d.log(slog.LevelInfo, "two") // must be a no-op, not a panic
+	if got := el.Total(); got != 1 {
+		t.Errorf("Total = %d, want 1 (detached sink received an event)", got)
+	}
+}
+
+func TestEventLogExtraHandler(t *testing.T) {
+	// LogConfig.Handler receives every kept record alongside the ring.
+	sink, err := NewEventLog(LogConfig{Enabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := NewEventLog(LogConfig{Enabled: true, Handler: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slog.New(el).Info("fan-out")
+	if sink.Total() != 1 || el.Total() != 1 {
+		t.Errorf("extra=%d ring=%d, want 1 and 1", sink.Total(), el.Total())
+	}
+}

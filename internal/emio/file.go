@@ -3,6 +3,7 @@ package emio
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 )
 
@@ -122,6 +123,8 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 	f.disk.noteRead(f, i)
 	if hook := f.disk.readFault; hook != nil {
 		if err := hook(f, i); err != nil {
+			f.disk.log(slog.LevelWarn, "injected read fault",
+				slog.String("file", f.name), slog.Int("block", i))
 			return 0, &FaultError{Op: "read", File: f.name, Block: i, Off: f.blockOff(i), Err: err}
 		}
 	}
@@ -141,7 +144,7 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 		n, err = f.disk.store.read(f, i, buf)
 	}
 	if m != nil {
-		m.logReadNS.Observe(int64(time.Since(t0)))
+		m.logReadNS.ObserveEx(int64(time.Since(t0)), m.curSeq.Load())
 	}
 	if err != nil {
 		return 0, &FaultError{Op: "read", File: f.name, Block: i, Off: f.blockOff(i), Err: err}
@@ -155,6 +158,9 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 			if m != nil {
 				m.corruptions.Inc()
 			}
+			f.disk.log(slog.LevelError, "checksum mismatch on read",
+				slog.String("file", f.name), slog.Int("block", i),
+				slog.Uint64("stored", uint64(f.sums[i])), slog.Uint64("computed", uint64(got)))
 			return 0, &CorruptionError{
 				File: f.name, Block: i, Off: f.blockOff(i),
 				Stored: f.sums[i], Computed: got,
@@ -194,6 +200,8 @@ func (f *File) AppendBlock(payload []Elem) error {
 	f.disk.stats.Writes++
 	if hook := f.disk.writeFault; hook != nil {
 		if err := hook(f, f.nblocks); err != nil {
+			f.disk.log(slog.LevelWarn, "injected write fault",
+				slog.String("file", f.name), slog.Int("block", f.nblocks))
 			return &FaultError{Op: "write", File: f.name, Block: f.nblocks, Off: -1, Err: err}
 		}
 	}
@@ -212,7 +220,7 @@ func (f *File) AppendBlock(payload []Elem) error {
 	}
 	err := f.disk.store.append(f, payload)
 	if m != nil {
-		m.logWriteNS.Observe(int64(time.Since(t0)))
+		m.logWriteNS.ObserveEx(int64(time.Since(t0)), m.curSeq.Load())
 	}
 	if err != nil {
 		return &FaultError{Op: "write", File: f.name, Block: f.nblocks, Off: -1, Err: err}

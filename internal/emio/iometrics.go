@@ -18,6 +18,8 @@ package emio
 // cache line; see package metrics.
 
 import (
+	"sync/atomic"
+
 	"repro/internal/emio/metrics"
 )
 
@@ -44,10 +46,19 @@ type IOMetrics struct {
 	// Phase telemetry, fed by span boundaries (Ctx.StartSpan / Span.End)
 	// whether or not a tracer is attached. The stack itself is mutated only
 	// on the algorithm goroutine; observers read the atomic Info/Gauge.
+	// curSeq publishes the innermost span's sequence number so latency
+	// observations on any goroutine can carry it as an exemplar.
 	phaseInfo   *metrics.Info
 	phaseDepth  *metrics.Gauge
 	phaseStarts *metrics.CounterVec
-	phaseStack  []string
+	phaseStack  []phaseFrame
+	curSeq      atomic.Int64
+}
+
+// phaseFrame is one open span on the metrics phase stack.
+type phaseFrame struct {
+	name string
+	seq  int64
 }
 
 // newIOMetrics registers the disk-level instruments on reg and binds the
@@ -88,11 +99,12 @@ func (m *IOMetrics) Registry() *metrics.Registry { return m.reg }
 func (m *IOMetrics) Snapshot() metrics.Snapshot { return m.reg.Snapshot() }
 
 // pushPhase records a span start: returns the stack depth to restore at End.
-func (m *IOMetrics) pushPhase(name string) int {
+func (m *IOMetrics) pushPhase(name string, seq int64) int {
 	depth := len(m.phaseStack)
-	m.phaseStack = append(m.phaseStack, name)
+	m.phaseStack = append(m.phaseStack, phaseFrame{name: name, seq: seq})
 	m.phaseInfo.Set(name)
 	m.phaseDepth.Set(int64(depth + 1))
+	m.curSeq.Store(seq)
 	m.phaseStarts.With(name).Inc()
 	return depth
 }
@@ -104,12 +116,13 @@ func (m *IOMetrics) popPhaseTo(depth int) {
 		return
 	}
 	m.phaseStack = m.phaseStack[:depth]
-	top := ""
+	top, seq := "", int64(0)
 	if depth > 0 {
-		top = m.phaseStack[depth-1]
+		top, seq = m.phaseStack[depth-1].name, m.phaseStack[depth-1].seq
 	}
 	m.phaseInfo.Set(top)
 	m.phaseDepth.Set(int64(depth))
+	m.curSeq.Store(seq)
 }
 
 // storeMetrics binds the physical-layer handles of one fileStore, one handle
@@ -133,6 +146,10 @@ type storeMetrics struct {
 
 	queueDepth   *metrics.Gauge
 	backingBytes *metrics.Gauge
+
+	// seq points at the owning IOMetrics' curSeq so pipeline goroutines can
+	// stamp exemplars with the span that enqueued the work.
+	seq *atomic.Int64
 }
 
 // newStoreMetrics registers the physical-layer instruments and binds the
@@ -168,5 +185,6 @@ func newStoreMetrics(m *IOMetrics) *storeMetrics {
 			"block extents returned to the free list by releases").Handle(),
 		queueDepth:   m.queueDepth,
 		backingBytes: m.backingBytes,
+		seq:          &m.curSeq,
 	}
 }

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -30,23 +32,55 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
-// Server is a running scrape endpoint. Close it when the job finishes.
+// Server is a running scrape endpoint. Close it when the job finishes; Close
+// shuts down gracefully (in-flight scrapes finish) and surfaces any error
+// the background serve loop hit.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	serveErr chan error // buffered; the background Serve's exit error
 }
+
+// shutdownGrace bounds how long Close waits for in-flight requests before
+// tearing connections down hard.
+const shutdownGrace = 2 * time.Second
 
 // Serve starts an HTTP server for the registry on addr (host:port; port 0
 // picks a free port). It returns once the listener is bound, so a following
-// scrape cannot race the bind; request handling runs in the background.
+// scrape cannot race the bind — a bad address (port in use, bad host)
+// surfaces here rather than vanishing into a goroutine. Request handling
+// runs in the background; an error that stops the serve loop later is
+// reported by Err and Close.
 func Serve(addr string, r *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln)
-	return &Server{ln: ln, srv: srv}, nil
+	s := &Server{ln: ln, srv: srv, serveErr: make(chan error, 1)}
+	go func() {
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.serveErr <- err
+	}()
+	return s, nil
+}
+
+// ServeContext is Serve bound to a context: when ctx is cancelled the server
+// shuts down gracefully in the background. Close remains valid (and
+// idempotent with the cancellation).
+func ServeContext(ctx context.Context, addr string, r *Registry) (*Server, error) {
+	s, err := Serve(addr, r)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		<-ctx.Done()
+		s.Close()
+	}()
+	return s, nil
 }
 
 // Addr returns the bound address (useful with port 0).
@@ -55,5 +89,33 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the scrape URL of the /metrics endpoint.
 func (s *Server) URL() string { return "http://" + s.Addr() + "/metrics" }
 
-// Close stops the server and releases the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// Err returns the error that stopped the background serve loop, nil while it
+// is still running or if it exited cleanly. Non-blocking.
+func (s *Server) Err() error {
+	select {
+	case err := <-s.serveErr:
+		// Put it back so Close (or a second Err) still sees it.
+		s.serveErr <- err
+		return err
+	default:
+		return nil
+	}
+}
+
+// Close shuts the server down gracefully, waiting up to a short grace period
+// for in-flight scrapes before closing connections hard, and returns the
+// first error among the shutdown and the background serve loop. Idempotent.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = s.srv.Close()
+	}
+	// Serve has returned once Shutdown/Close completes; collect its error.
+	if serr := <-s.serveErr; err == nil {
+		err = serr
+	}
+	s.serveErr <- nil // keep later Close/Err calls non-blocking and clean
+	return err
+}

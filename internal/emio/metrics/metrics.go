@@ -137,7 +137,10 @@ const histBuckets = 64
 type histShard struct {
 	count, sum atomic.Int64
 	max        atomic.Int64
-	buckets    [histBuckets]atomic.Int64
+	// maxSeq is the exemplar: the span sequence number active when max was
+	// stored, linking the worst observation to the phase that caused it.
+	maxSeq  atomic.Int64
+	buckets [histBuckets]atomic.Int64
 }
 
 // Histogram is a log-bucketed (power-of-two) histogram of non-negative
@@ -161,15 +164,25 @@ func (h *Histogram) Handle() *HistogramHandle {
 }
 
 // Observe records v through a default shard (cold-path convenience).
-func (h *Histogram) Observe(v int64) { observe(&h.shards[0], v) }
+func (h *Histogram) Observe(v int64) { observe(&h.shards[0], v, 0) }
+
+// ObserveEx records v with an exemplar span sequence number through a
+// default shard.
+func (h *Histogram) ObserveEx(v, seq int64) { observe(&h.shards[0], v, seq) }
 
 // HistogramHandle is a shard-bound recorder for one Histogram.
 type HistogramHandle struct{ s *histShard }
 
 // Observe records one value. Negative values clamp to zero.
-func (hh *HistogramHandle) Observe(v int64) { observe(hh.s, v) }
+func (hh *HistogramHandle) Observe(v int64) { observe(hh.s, v, 0) }
 
-func observe(s *histShard, v int64) {
+// ObserveEx records one value tagged with the span sequence number that
+// produced it. When v becomes the shard's new maximum, seq is kept as the
+// histogram's exemplar — a p99/max spike in a scrape then names the exact
+// span to look up in the trace.
+func (hh *HistogramHandle) ObserveEx(v, seq int64) { observe(hh.s, v, seq) }
+
+func observe(s *histShard, v, seq int64) {
 	if v < 0 {
 		v = 0
 	}
@@ -177,7 +190,14 @@ func observe(s *histShard, v int64) {
 	s.sum.Add(v)
 	for {
 		cur := s.max.Load()
-		if v <= cur || s.max.CompareAndSwap(cur, v) {
+		if v <= cur {
+			break
+		}
+		if s.max.CompareAndSwap(cur, v) {
+			// Benign race: a concurrent larger observation may overwrite
+			// maxSeq between our CAS and this store; the exemplar is a hint,
+			// not an invariant.
+			s.maxSeq.Store(seq)
 			break
 		}
 	}
@@ -196,6 +216,9 @@ func bucketUpper(i int) int64 {
 // HistogramSnapshot is a merged, point-in-time view of a Histogram.
 type HistogramSnapshot struct {
 	Count, Sum, Max int64
+	// MaxSeq is the exemplar: the span seq recorded with the maximum
+	// observation (0 when no exemplar was attached).
+	MaxSeq int64
 	// Buckets[i] counts observations in [2^(i-1), 2^i); Buckets[0] counts
 	// zeros. Trailing empty buckets are trimmed.
 	Buckets []int64
@@ -223,6 +246,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		snap.Sum += s.sum.Load()
 		if m := s.max.Load(); m > snap.Max {
 			snap.Max = m
+			snap.MaxSeq = s.maxSeq.Load()
 		}
 		for b := range s.buckets {
 			if n := s.buckets[b].Load(); n != 0 {

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -81,6 +82,16 @@ func (r *Reporter) Stop() {
 }
 
 func (r *Reporter) emit(p Progress) {
+	// Harden against misbehaving sample functions: a negative Done or Total
+	// (an underflowed counter, a placeholder -1) must not produce negative
+	// percentages, and the rate/ETA math below must never divide by zero or
+	// print NaN/Inf no matter what combination arrives.
+	if p.Done < 0 {
+		p.Done = 0
+	}
+	if p.Total < 0 {
+		p.Total = 0
+	}
 	elapsed := time.Since(r.start)
 	line := fmt.Sprintf("progress: %s", humanCount(p.Done))
 	if p.Total > 0 {
@@ -90,17 +101,26 @@ func (r *Reporter) emit(p Progress) {
 		line += " " + p.Unit
 	}
 	if p.Total > 0 {
-		line += fmt.Sprintf(" (%.1f%%)", 100*float64(p.Done)/float64(p.Total))
+		pct := 100 * float64(p.Done) / float64(p.Total)
+		if pct > 100 {
+			pct = 100 // Done can overrun a predicted Total; clamp the display
+		}
+		line += fmt.Sprintf(" (%.1f%%)", pct)
 	}
 	if p.Phase != "" {
 		line += " phase=" + p.Phase
 	}
 	if sec := elapsed.Seconds(); sec > 0 && p.Done > 0 {
 		rate := float64(p.Done) / sec
-		line += fmt.Sprintf(" rate=%s/s", humanCount(int64(rate)))
-		if p.Total > p.Done {
-			eta := time.Duration(float64(p.Total-p.Done) / rate * float64(time.Second))
-			line += " eta=" + eta.Round(time.Second).String()
+		if !math.IsNaN(rate) && !math.IsInf(rate, 0) && rate > 0 {
+			line += fmt.Sprintf(" rate=%s/s", humanCount(int64(rate)))
+			if p.Total > p.Done {
+				etaSec := float64(p.Total-p.Done) / rate
+				if !math.IsNaN(etaSec) && !math.IsInf(etaSec, 0) {
+					eta := time.Duration(etaSec * float64(time.Second))
+					line += " eta=" + eta.Round(time.Second).String()
+				}
+			}
 		}
 	}
 	line += fmt.Sprintf(" elapsed=%s", elapsed.Round(time.Second))

@@ -59,7 +59,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, q := range []struct {
 			suffix string
 			v      int64
-		}{{"p50", snap.P50}, {"p95", snap.P95}, {"p99", snap.P99}, {"max", snap.Max}} {
+		}{{"p50", snap.P50}, {"p95", snap.P95}, {"p99", snap.P99}, {"max", snap.Max},
+			{"max_seq", snap.MaxSeq}} {
 			writeHeader(&b, name+"_"+q.suffix, help+" ("+q.suffix+")", "gauge")
 			fmt.Fprintf(&b, "%s_%s %d\n", name, q.suffix, q.v)
 		}

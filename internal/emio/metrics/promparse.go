@@ -1,0 +1,151 @@
+package metrics
+
+// ParsePrometheus reconstructs a Snapshot from the text exposition format
+// WritePrometheus produces — the scrape half of the remote dashboard: emtop
+// GETs /metrics from a running job and renders the same frames an in-process
+// dashboard would. The parser is deliberately scoped to this package's own
+// output (integer samples, one label per series, _p50/_p95/_p99/_max/_max_seq
+// companion gauges folded back into their histogram) rather than a general
+// Prometheus parser.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsePrometheus parses a text exposition produced by WritePrometheus back
+// into a Snapshot. Series with non-integer values or malformed lines are
+// skipped rather than failing the whole scrape.
+func ParsePrometheus(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+		Infos:      make(map[string]string),
+	}
+	types := make(map[string]string)
+	// Histogram buckets accumulate per name in le order of appearance
+	// (cumulative counts, differenced at the end).
+	bucketCums := make(map[string][]int64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labelKey, labelVal, value, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket") && types[strings.TrimSuffix(name, "_bucket")] == "histogram":
+			base := strings.TrimSuffix(name, "_bucket")
+			if labelKey == "le" && labelVal != "+Inf" {
+				bucketCums[base] = append(bucketCums[base], value)
+			}
+		case strings.HasSuffix(name, "_sum") && types[strings.TrimSuffix(name, "_sum")] == "histogram":
+			h := snap.Histograms[strings.TrimSuffix(name, "_sum")]
+			h.Sum = value
+			snap.Histograms[strings.TrimSuffix(name, "_sum")] = h
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			h := snap.Histograms[strings.TrimSuffix(name, "_count")]
+			h.Count = value
+			snap.Histograms[strings.TrimSuffix(name, "_count")] = h
+		case types[name] == "counter":
+			key := name
+			if labelKey != "" {
+				key = fmt.Sprintf("%s{%s=%q}", name, labelKey, labelVal)
+			}
+			snap.Counters[key] = value
+		case types[name] == "gauge":
+			if labelKey != "" {
+				// Info metric: name{label="value"} 1.
+				snap.Infos[name] = labelVal
+				continue
+			}
+			snap.Gauges[name] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return snap, fmt.Errorf("metrics: parse exposition: %w", err)
+	}
+
+	// Difference cumulative buckets and fold the quantile companion gauges
+	// back into their histograms. Suffix order matters: _max_seq must be
+	// tested before _max.
+	for base, cums := range bucketCums {
+		h := snap.Histograms[base]
+		h.Buckets = make([]int64, len(cums))
+		prev := int64(0)
+		for i, c := range cums {
+			h.Buckets[i] = c - prev
+			prev = c
+		}
+		snap.Histograms[base] = h
+	}
+	for name := range snap.Histograms {
+		h := snap.Histograms[name]
+		for _, q := range []struct {
+			suffix string
+			dst    *int64
+		}{
+			{"_max_seq", &h.MaxSeq}, {"_max", &h.Max},
+			{"_p50", &h.P50}, {"_p95", &h.P95}, {"_p99", &h.P99},
+		} {
+			if v, ok := snap.Gauges[name+q.suffix]; ok {
+				*q.dst = v
+				delete(snap.Gauges, name+q.suffix)
+			}
+		}
+		snap.Histograms[name] = h
+	}
+	return snap, nil
+}
+
+// parseSample splits one sample line: `name 12`, `name{label="val"} 12`.
+// Returns ok=false for lines it cannot interpret (float samples included —
+// this package only emits integers).
+func parseSample(line string) (name, labelKey, labelVal string, value int64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", "", 0, false
+	}
+	series, valStr := line[:sp], line[sp+1:]
+	v, err := strconv.ParseInt(strings.TrimSpace(valStr), 10, 64)
+	if err != nil {
+		return "", "", "", 0, false
+	}
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", "", "", 0, false
+		}
+		name = series[:i]
+		inner := series[i+1 : len(series)-1]
+		eq := strings.IndexByte(inner, '=')
+		if eq < 0 {
+			return "", "", "", 0, false
+		}
+		labelKey = inner[:eq]
+		lv := inner[eq+1:]
+		unq, err := strconv.Unquote(lv)
+		if err != nil {
+			return "", "", "", 0, false
+		}
+		labelVal = unq
+	} else {
+		name = series
+	}
+	return name, labelKey, labelVal, v, true
+}

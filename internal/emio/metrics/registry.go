@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Registry holds a namespace of metrics. Registration is idempotent by name
@@ -12,6 +13,7 @@ import (
 // scraping lock; recording through the returned instruments never does.
 type Registry struct {
 	mu       sync.Mutex
+	created  time.Time // cumulative-temporality start time for OTLP export
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -22,6 +24,7 @@ type Registry struct {
 // New creates an empty registry.
 func New() *Registry {
 	return &Registry{
+		created:  time.Now(),
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),

@@ -1,0 +1,371 @@
+package metrics
+
+// Tests for the telemetry-bus surface added with the unified observability
+// layer: the Prometheus exposition round-trip that powers remote emtop, the
+// OTLP/JSON export with exemplars, the dashboard renderer, the pprof routes,
+// and the hardened HTTP/progress lifecycles.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// populate builds a registry exercising every instrument kind.
+func populate(t *testing.T) *Registry {
+	t.Helper()
+	r := New()
+	r.Counter("empart_logical_reads_total", "logical reads").Add(1234)
+	r.Counter("empart_logical_writes_total", "logical writes").Add(567)
+	r.Gauge("empart_phase_depth", "phase depth").Set(3)
+	r.Info("empart_phase", "current phase", "phase").Set("extsort/merge")
+	r.CounterVec("empart_phase_started_total", "phase starts", "phase").With("extsort").Add(2)
+	r.CounterVec("empart_phase_started_total", "phase starts", "phase").With("extsort/merge").Add(7)
+	h := r.Histogram("empart_phys_read_ns", "physical read latency", "ns")
+	for i, v := range []int64{100, 900, 15_000, 2_000_000} {
+		h.ObserveEx(v, int64(10+i))
+	}
+	return r
+}
+
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := populate(t)
+	want := r.Snapshot()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k, v := range want.Counters {
+		if got.Counters[k] != v {
+			t.Errorf("counter %s: parsed %d, want %d", k, got.Counters[k], v)
+		}
+	}
+	for k, v := range want.Gauges {
+		if got.Gauges[k] != v {
+			t.Errorf("gauge %s: parsed %d, want %d", k, got.Gauges[k], v)
+		}
+	}
+	for k, v := range want.Infos {
+		if got.Infos[k] != v {
+			t.Errorf("info %s: parsed %q, want %q", k, got.Infos[k], v)
+		}
+	}
+	wh, gh := want.Histograms["empart_phys_read_ns"], got.Histograms["empart_phys_read_ns"]
+	if gh.Count != wh.Count || gh.Sum != wh.Sum || gh.Max != wh.Max ||
+		gh.MaxSeq != wh.MaxSeq || gh.P50 != wh.P50 || gh.P95 != wh.P95 || gh.P99 != wh.P99 {
+		t.Errorf("histogram summary: parsed %+v, want %+v", gh, wh)
+	}
+	if len(gh.Buckets) != len(wh.Buckets) {
+		t.Fatalf("histogram buckets: parsed %d, want %d", len(gh.Buckets), len(wh.Buckets))
+	}
+	for i := range wh.Buckets {
+		if gh.Buckets[i] != wh.Buckets[i] {
+			t.Errorf("bucket %d: parsed %d, want %d", i, gh.Buckets[i], wh.Buckets[i])
+		}
+	}
+	// Companion gauges must be folded into the histogram, not left behind.
+	for _, suffix := range []string{"_p50", "_p95", "_p99", "_max", "_max_seq"} {
+		if _, ok := got.Gauges["empart_phys_read_ns"+suffix]; ok {
+			t.Errorf("companion gauge %s not folded into histogram", suffix)
+		}
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	// The exact series emitted for a small, fixed registry. Guards the format
+	// emtop's scoped parser (and any real Prometheus scraper) depends on.
+	r := New()
+	r.Counter("reads_total", "reads").Add(5)
+	r.Gauge("depth", "queue depth").Set(2)
+	r.Info("phase", "active phase", "phase").Set("merge")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP reads_total reads
+# TYPE reads_total counter
+reads_total 5
+# HELP depth queue depth
+# TYPE depth gauge
+depth 2
+# HELP phase active phase
+# TYPE phase gauge
+phase{phase="merge"} 1
+`
+	if b.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramExemplarTracksMax(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_ns", "latency", "ns")
+	h.ObserveEx(50, 1)
+	h.ObserveEx(5000, 42) // the max
+	h.ObserveEx(70, 99)
+	snap := r.Snapshot().Histograms["lat_ns"]
+	if snap.Max != 5000 {
+		t.Fatalf("Max = %d, want 5000", snap.Max)
+	}
+	if snap.MaxSeq != 42 {
+		t.Errorf("MaxSeq = %d, want 42 (the span that observed the max)", snap.MaxSeq)
+	}
+}
+
+// otlpDoc is the subset of the OTLP/JSON metrics document the tests inspect.
+type otlpDoc struct {
+	ResourceMetrics []struct {
+		Resource struct {
+			Attributes []struct {
+				Key   string `json:"key"`
+				Value struct {
+					StringValue *string `json:"stringValue"`
+				} `json:"value"`
+			} `json:"attributes"`
+		} `json:"resource"`
+		ScopeMetrics []struct {
+			Metrics []struct {
+				Name string `json:"name"`
+				Sum  *struct {
+					IsMonotonic            bool `json:"isMonotonic"`
+					AggregationTemporality int  `json:"aggregationTemporality"`
+					DataPoints             []struct {
+						AsInt string `json:"asInt"`
+					} `json:"dataPoints"`
+				} `json:"sum"`
+				Histogram *struct {
+					DataPoints []struct {
+						Count          string    `json:"count"`
+						BucketCounts   []string  `json:"bucketCounts"`
+						ExplicitBounds []float64 `json:"explicitBounds"`
+						Exemplars      []struct {
+							AsInt              string `json:"asInt"`
+							FilteredAttributes []struct {
+								Key   string `json:"key"`
+								Value struct {
+									IntValue *string `json:"intValue"`
+								} `json:"value"`
+							} `json:"filteredAttributes"`
+						} `json:"exemplars"`
+					} `json:"dataPoints"`
+				} `json:"histogram"`
+			} `json:"metrics"`
+		} `json:"scopeMetrics"`
+	} `json:"resourceMetrics"`
+}
+
+func TestMetricsOTLPRoundTrip(t *testing.T) {
+	r := populate(t)
+	raw, err := r.OTLP("test-svc", time.Unix(1700000000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc otlpDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("OTLP output is not valid JSON: %v", err)
+	}
+	if len(doc.ResourceMetrics) != 1 || len(doc.ResourceMetrics[0].ScopeMetrics) != 1 {
+		t.Fatalf("want one resourceMetrics with one scopeMetrics, got %+v", doc.ResourceMetrics)
+	}
+	var svc string
+	for _, a := range doc.ResourceMetrics[0].Resource.Attributes {
+		if a.Key == "service.name" && a.Value.StringValue != nil {
+			svc = *a.Value.StringValue
+		}
+	}
+	if svc != "test-svc" {
+		t.Errorf("service.name = %q, want test-svc", svc)
+	}
+	byName := map[string]int{}
+	ms := doc.ResourceMetrics[0].ScopeMetrics[0].Metrics
+	for i, m := range ms {
+		byName[m.Name] = i
+	}
+	i, ok := byName["empart_logical_reads_total"]
+	if !ok {
+		t.Fatal("counter missing from OTLP export")
+	}
+	sum := ms[i].Sum
+	if sum == nil || !sum.IsMonotonic || sum.AggregationTemporality != 2 {
+		t.Errorf("counter sum malformed: %+v", sum)
+	}
+	if len(sum.DataPoints) != 1 || sum.DataPoints[0].AsInt != "1234" {
+		t.Errorf("counter value: %+v, want asInt 1234", sum.DataPoints)
+	}
+	j, ok := byName["empart_phys_read_ns"]
+	if !ok {
+		t.Fatal("histogram missing from OTLP export")
+	}
+	hist := ms[j].Histogram
+	if hist == nil || len(hist.DataPoints) != 1 {
+		t.Fatalf("histogram malformed: %+v", hist)
+	}
+	dp := hist.DataPoints[0]
+	if dp.Count != "4" {
+		t.Errorf("histogram count = %s, want 4", dp.Count)
+	}
+	if len(dp.BucketCounts) != len(dp.ExplicitBounds)+1 {
+		t.Errorf("bucketCounts %d and explicitBounds %d violate len(counts) == len(bounds)+1",
+			len(dp.BucketCounts), len(dp.ExplicitBounds))
+	}
+	if len(dp.Exemplars) != 1 {
+		t.Fatalf("want one exemplar on the max bucket, got %d", len(dp.Exemplars))
+	}
+	ex := dp.Exemplars[0]
+	if ex.AsInt != "2000000" {
+		t.Errorf("exemplar value = %s, want the max observation 2000000", ex.AsInt)
+	}
+	if len(ex.FilteredAttributes) != 1 || ex.FilteredAttributes[0].Key != "empart.span_seq" ||
+		ex.FilteredAttributes[0].Value.IntValue == nil || *ex.FilteredAttributes[0].Value.IntValue != "13" {
+		t.Errorf("exemplar attributes = %+v, want empart.span_seq=13", ex.FilteredAttributes)
+	}
+}
+
+func TestRenderDashboard(t *testing.T) {
+	r := populate(t)
+	out := RenderDashboard(r.Snapshot(), 0)
+	for _, want := range []string{
+		"phase: extsort/merge",
+		"depth=3",
+		"reads=1.2k",
+		"phys_read",
+		"span#13", // exemplar seq of the slowest phys read
+		"extsort/merge=7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard frame missing %q:\n%s", want, out)
+		}
+	}
+	// Width clamping never splits a line past the limit.
+	for _, line := range strings.Split(RenderDashboard(r.Snapshot(), 20), "\n") {
+		if n := len([]rune(line)); n > 20 {
+			t.Errorf("line %q is %d runes, want <= 20", line, n)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "" {
+		t.Errorf("sparkline(nil) = %q, want empty", got)
+	}
+	if got := sparkline([]int64{0, 0}); got != "" {
+		t.Errorf("sparkline(zeros) = %q, want empty", got)
+	}
+	got := sparkline([]int64{1, 0, 8})
+	runes := []rune(got)
+	if len(runes) != 3 || runes[1] != ' ' || runes[2] != '█' {
+		t.Errorf("sparkline([1 0 8]) = %q", got)
+	}
+}
+
+func TestPprofSmoke(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%.200s", body)
+	}
+}
+
+func TestServeContextShutsDownOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := ServeContext(ctx, "127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := s.URL()
+	if resp, err := http.Get(url); err != nil {
+		t.Fatalf("scrape before cancel: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get(url); err != nil {
+			break // listener gone: shutdown happened
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still serving 5s after context cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close after context shutdown: %v", err)
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("Err after clean shutdown: %v", err)
+	}
+}
+
+func TestServeCloseIsIdempotent(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServeRejectsBadAddress(t *testing.T) {
+	if _, err := Serve("256.256.256.256:http", New()); err == nil {
+		t.Fatal("Serve on a bad address did not fail")
+	}
+}
+
+func TestProgressGuardsDegenerateSamples(t *testing.T) {
+	// Zero totals, negative counters and Done > Total must never print NaN,
+	// Inf or a percentage outside [0, 100].
+	var sb safeBuilder
+	for _, p := range []Progress{
+		{Done: 0, Total: 0},
+		{Done: -5, Total: -1},
+		{Done: 10, Total: 0},
+		{Done: 200, Total: 100},
+	} {
+		r := &Reporter{w: &sb, fn: func() Progress { return p }, start: time.Now().Add(-time.Second),
+			stop: make(chan struct{}), done: make(chan struct{})}
+		r.emit(p)
+	}
+	out := sb.String()
+	for _, bad := range []string{"NaN", "Inf", "-%"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("progress output contains %q:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, "(100.0%)") {
+		t.Errorf("Done > Total should clamp to 100%%:\n%s", out)
+	}
+	if strings.Contains(out, "(200") {
+		t.Errorf("unclamped over-100%% percentage leaked:\n%s", out)
+	}
+}
+
+// safeBuilder is a strings.Builder safe for the Reporter's locking pattern.
+type safeBuilder struct{ strings.Builder }

@@ -30,6 +30,7 @@ package emio
 // misses the staging window and falls back to direct reads.
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 )
@@ -147,6 +148,9 @@ func (s *fileStore) stopAsync() error {
 	for _, se := range a.errs {
 		if !se.delivered {
 			se.delivered = true
+			if d := s.disk; d != nil {
+				d.log(slog.LevelError, "unreported write-behind failure surfaced at close")
+			}
 			return se.err
 		}
 	}
@@ -283,6 +287,10 @@ func (s *fileStore) completeOps(ops []batchOp, err error) {
 				se := &stickyErr{err: storeWriteError(op.f.name, op.off, err)}
 				a.fileErr[op.f] = se
 				a.errs = append(a.errs, se)
+				if d := s.disk; d != nil {
+					d.log(slog.LevelError, "write-behind failure recorded",
+						slog.String("file", op.f.name), slog.Int64("off", op.off))
+				}
 			}
 		}
 		a.pending[op.f]--
@@ -418,7 +426,7 @@ func (s *fileStore) pipelineRead(f *File, i int, dst []Elem, ahead int) (int, er
 	err := s.readAtPhys(f.name, raw, f.extents[i])
 	if sm != nil {
 		sm.physReads.Inc()
-		sm.physReadNS.Observe(int64(time.Since(t0)))
+		sm.physReadNS.ObserveEx(int64(time.Since(t0)), sm.seq.Load())
 	}
 	if err != nil {
 		return 0, storeReadError(f.name, f.extents[i], err)
@@ -477,7 +485,7 @@ func (s *fileStore) startPrefetch(f *File, from, maxBlocks int) *prefetchState {
 		err := s.readAtPhys(f.name, ps.buf[:ps.nbytes], ps.startOff)
 		if sm != nil {
 			sm.prefReads.Inc()
-			sm.prefReadNS.Observe(int64(time.Since(t0)))
+			sm.prefReadNS.ObserveEx(int64(time.Since(t0)), sm.seq.Load())
 			if err == nil {
 				sm.readRunBlocks.Observe(int64(ps.count))
 			}

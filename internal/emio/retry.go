@@ -16,6 +16,7 @@ package emio
 
 import (
 	"fmt"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -199,15 +200,28 @@ func (d *Disk) runPhys(op ioOp, fname string, off int64, fn func() error) error 
 					m.giveups.Inc()
 				}
 			}
+			if d != nil {
+				d.log(slog.LevelError, "transfer abandoned after retries",
+					slog.String("op", op.String()), slog.String("file", fname),
+					slog.Int64("off", off), slog.Int("attempts", attempt))
+			}
 			return &TransientError{Op: op.String(), File: fname, Offset: off, Attempts: attempt, Err: err}
 		}
 		sleep := r.backoffFor(off, attempt)
+		d.log(slog.LevelWarn, "transient failure, retrying",
+			slog.String("op", op.String()), slog.String("file", fname),
+			slog.Int64("off", off), slog.Int("attempt", attempt),
+			slog.Duration("backoff", sleep))
 		time.Sleep(sleep)
 		r.retries.Add(1)
 		r.backoffNS.Add(int64(sleep))
 		if m := r.m.Load(); m != nil {
 			m.retries.Inc()
-			m.backoffNS.Observe(int64(sleep))
+			var seq int64
+			if d.iom != nil {
+				seq = d.iom.curSeq.Load()
+			}
+			m.backoffNS.ObserveEx(int64(sleep), seq)
 		}
 	}
 }

@@ -168,8 +168,8 @@ const elemBytes = 16
 // buffers. All fields except the ones explicitly protected by mu are owned
 // by the algorithm goroutine.
 type fileStore struct {
-	fd   *os.File
-	disk *Disk // back-pointer for the resilience layer (retry + injection)
+	fd      *os.File
+	disk    *Disk  // back-pointer for the resilience layer (retry + injection)
 	end     int64  // append cursor: high-water byte offset of the backing file
 	scratch []byte // synchronous encode/decode scratch, one (padded) block
 	size    int    // block size in elements
@@ -316,7 +316,7 @@ func (s *fileStore) readAhead(f *File, i int, buf []Elem, ahead int) (int, error
 	err := s.readAtPhys(f.name, raw, f.extents[i])
 	if sm != nil {
 		sm.physReads.Inc()
-		sm.physReadNS.Observe(int64(time.Since(t0)))
+		sm.physReadNS.ObserveEx(int64(time.Since(t0)), sm.seq.Load())
 	}
 	if err != nil {
 		return 0, storeReadError(f.name, f.extents[i], err)
@@ -402,7 +402,7 @@ func (s *fileStore) physWrite(fname string, raw []byte, off int64) error {
 	err := s.writeAtPhys(fname, raw, off)
 	if sm != nil {
 		sm.physWrites.Inc()
-		sm.physWriteNS.Observe(int64(time.Since(t0)))
+		sm.physWriteNS.ObserveEx(int64(time.Since(t0)), sm.seq.Load())
 	}
 	return err
 }

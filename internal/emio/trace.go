@@ -20,9 +20,11 @@ import (
 	"cmp"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"slices"
 	"strings"
 	"text/tabwriter"
+	"time"
 )
 
 // Attr is one key/value annotation on a span (an input size, a fan-in, a
@@ -79,11 +81,18 @@ type Span struct {
 	parent *Span
 	open   bool
 
-	// metricsOnly marks a span created with metrics enabled but no tracer
-	// attached: it feeds the phase gauges and records nothing else.
+	// metricsOnly marks a span created with metrics or logging enabled but
+	// no tracer attached: it feeds the phase gauges and the log span context
+	// and records nothing else.
 	metricsOnly bool
 	phasePushed bool
 	phaseDepth  int
+	logPushed   bool
+	logDepth    int
+
+	// Wall-clock bounds, read by the OTLP exporter. Purely observational —
+	// they never appear in the deterministic trace JSON.
+	startWall, endWall time.Time
 
 	startStats    Stats
 	startSeq      int64
@@ -112,25 +121,37 @@ func (c *Ctx) SetTracer(t *Tracer) { c.tracer = t }
 func (c *Ctx) Tracer() *Tracer { return c.tracer }
 
 // StartSpan opens a span as a child of the currently open span (or as a new
-// root). It returns nil when no tracer is attached and metrics are disabled;
-// a nil *Span's methods are all no-ops, so instrumentation sites need no
-// tracing checks of their own. With metrics enabled but no tracer, the
-// returned span records nothing in a trace tree — it only drives the live
-// phase gauges (empart_phase, empart_phase_depth).
+// root). It returns nil when no tracer is attached and metrics and logging
+// are disabled; a nil *Span's methods are all no-ops, so instrumentation
+// sites need no tracing checks of their own. With metrics or logging enabled
+// but no tracer, the returned span records nothing in a trace tree — it only
+// drives the live phase gauges (empart_phase, empart_phase_depth) and the
+// event log's span context.
 func (c *Ctx) StartSpan(name string, attrs ...Attr) *Span {
 	if c.tracer == nil {
-		m := c.disk.iom
-		if m == nil {
+		d := c.disk
+		m := d.iom
+		if m == nil && d.logger == nil {
 			return nil
 		}
-		return &Span{
+		d.spanSeq++
+		sp := &Span{
 			Name:        name,
+			Seq:         d.spanSeq,
 			ctx:         c,
 			open:        true,
 			metricsOnly: true,
-			phasePushed: true,
-			phaseDepth:  m.pushPhase(name),
 		}
+		if m != nil {
+			sp.phasePushed = true
+			sp.phaseDepth = m.pushPhase(name, sp.Seq)
+		}
+		if d.logger != nil {
+			sp.logPushed = true
+			sp.logDepth = d.pushLogSpan(name, sp.Seq)
+			d.log(slog.LevelDebug, "phase started")
+		}
+		return sp
 	}
 	return c.tracer.start(c, name, attrs)
 }
@@ -152,9 +173,15 @@ func (t *Tracer) start(c *Ctx, name string, attrs []Attr) *Span {
 		savedPeakMem:  c.mem.peak,
 		savedPeakDisk: c.disk.peakLive,
 	}
+	sp.startWall = time.Now()
 	if m := c.disk.iom; m != nil {
 		sp.phasePushed = true
-		sp.phaseDepth = m.pushPhase(name)
+		sp.phaseDepth = m.pushPhase(name, sp.Seq)
+	}
+	if c.disk.logger != nil {
+		sp.logPushed = true
+		sp.logDepth = c.disk.pushLogSpan(name, sp.Seq)
+		c.disk.log(slog.LevelDebug, "phase started")
 	}
 	if t.cur != nil {
 		sp.Depth = t.cur.Depth + 1
@@ -179,7 +206,11 @@ func (sp *Span) End() {
 	}
 	if sp.metricsOnly {
 		sp.open = false
+		if sp.logPushed {
+			sp.ctx.disk.log(slog.LevelDebug, "phase ended")
+		}
 		sp.popPhase()
+		sp.popLog()
 		return
 	}
 	t := sp.tracer
@@ -201,8 +232,17 @@ func (sp *Span) popPhase() {
 	}
 }
 
+// popLog is popPhase for the event log's span context.
+func (sp *Span) popLog() {
+	if !sp.logPushed {
+		return
+	}
+	sp.ctx.disk.popLogSpanTo(sp.logDepth)
+}
+
 func (sp *Span) finish() {
 	c := sp.ctx
+	sp.endWall = time.Now()
 	sp.IO = c.disk.stats.Sub(sp.startStats)
 	sp.PeakMem = c.mem.peak
 	sp.PeakDisk = c.disk.peakLive
@@ -217,7 +257,12 @@ func (sp *Span) finish() {
 	}
 	sp.open = false
 	sp.tracer.cur = sp.parent
+	if sp.logPushed {
+		c.disk.log(slog.LevelDebug, "phase ended",
+			slog.Int64("reads", sp.IO.Reads), slog.Int64("writes", sp.IO.Writes))
+	}
 	sp.popPhase()
+	sp.popLog()
 }
 
 // SetAttr appends an attribute to the span after the fact (for values known

@@ -1,0 +1,182 @@
+package emio
+
+// OTLP/JSON export of the tracer's span forest: the wire form is an
+// ExportTraceServiceRequest rendered per the OTLP JSON mapping (trace/span
+// ids as hex strings, 64-bit integers as decimal strings), so the output can
+// be POSTed to any collector's /v1/traces endpoint or imported into
+// Jaeger/Perfetto directly — with zero dependencies, which is the point.
+//
+// Ids are deterministic functions of the span graph, not random draws (the
+// tracer must stay bit-identical run to run): a span's id is its start
+// sequence number, and a trace id mixes the root span's seq through
+// splitmix64 so distinct roots land in visually distinct traces. Wall-clock
+// timestamps come from the spans' observational start/end times; they are
+// the only nondeterministic field, exactly as in any real tracing system.
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// otlpKV is one OTLP attribute: a key and a typed value object.
+type otlpKV struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+// otlpAnyValue is the OTLP AnyValue union; exactly one field is set.
+// Int values are decimal strings per the OTLP JSON mapping of int64.
+type otlpAnyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+func otlpStr(key, v string) otlpKV {
+	return otlpKV{Key: key, Value: otlpAnyValue{StringValue: &v}}
+}
+
+func otlpInt(key string, v int64) otlpKV {
+	s := strconv.FormatInt(v, 10)
+	return otlpKV{Key: key, Value: otlpAnyValue{IntValue: &s}}
+}
+
+func otlpAny(key string, v any) otlpKV {
+	switch x := v.(type) {
+	case string:
+		return otlpStr(key, x)
+	case int:
+		return otlpInt(key, int64(x))
+	case int64:
+		return otlpInt(key, x)
+	case float64:
+		return otlpKV{Key: key, Value: otlpAnyValue{DoubleValue: &x}}
+	case bool:
+		return otlpKV{Key: key, Value: otlpAnyValue{BoolValue: &x}}
+	default:
+		return otlpStr(key, fmt.Sprint(v))
+	}
+}
+
+// otlpSpan is one OTLP span. Start/end are unix nanos as decimal strings.
+type otlpSpan struct {
+	TraceID           string   `json:"traceId"`
+	SpanID            string   `json:"spanId"`
+	ParentSpanID      string   `json:"parentSpanId,omitempty"`
+	Name              string   `json:"name"`
+	Kind              int      `json:"kind"`
+	StartTimeUnixNano string   `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string   `json:"endTimeUnixNano"`
+	Attributes        []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+// otlpTraceRequest is the body of an OTLP/HTTP POST to /v1/traces.
+type otlpTraceRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+// otlpScopeName identifies this library as the instrumentation scope.
+const otlpScopeName = "repro/internal/emio"
+
+// spanIDHex renders a span's deterministic 8-byte id from its sequence
+// number. Seq is assigned from 1, so the id is never the all-zero invalid id.
+func spanIDHex(seq int64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(seq))
+	return hex.EncodeToString(b[:])
+}
+
+// traceIDHex renders the deterministic 16-byte trace id of the trace rooted
+// at root seq: the raw seq in the low half, its splitmix64 image in the high
+// half (never all-zero since the low half carries seq >= 1).
+func traceIDHex(rootSeq int64) string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], splitmix64(uint64(rootSeq)))
+	binary.BigEndian.PutUint64(b[8:], uint64(rootSeq))
+	return hex.EncodeToString(b[:])
+}
+
+// otlpExport flattens one span subtree, pre-order, into out.
+func otlpExport(sp *Span, traceID, parentID string, out *[]otlpSpan) {
+	start := sp.startWall
+	end := sp.endWall
+	if end.Before(start) {
+		end = start // still-open span: zero duration rather than negative
+	}
+	o := otlpSpan{
+		TraceID:           traceID,
+		SpanID:            spanIDHex(sp.Seq),
+		ParentSpanID:      parentID,
+		Name:              sp.Name,
+		Kind:              1, // SPAN_KIND_INTERNAL
+		StartTimeUnixNano: strconv.FormatInt(start.UnixNano(), 10),
+		EndTimeUnixNano:   strconv.FormatInt(end.UnixNano(), 10),
+	}
+	o.Attributes = append(o.Attributes,
+		otlpInt("empart.seq", sp.Seq),
+		otlpInt("empart.reads", sp.IO.Reads),
+		otlpInt("empart.writes", sp.IO.Writes),
+		otlpInt("empart.ios", sp.IO.Total()),
+		otlpInt("empart.peak_mem", sp.PeakMem),
+		otlpInt("empart.peak_disk_blocks", sp.PeakDisk),
+		otlpInt("empart.files_created", sp.FilesCreated),
+		otlpInt("empart.live_file_delta", sp.LiveFileDelta),
+	)
+	if sp.Retries != 0 {
+		o.Attributes = append(o.Attributes, otlpInt("empart.retries", sp.Retries))
+	}
+	for _, a := range sp.Attrs {
+		o.Attributes = append(o.Attributes, otlpAny("empart.attr."+a.Key, a.Val))
+	}
+	*out = append(*out, o)
+	for _, ch := range sp.orderedChildren() {
+		otlpExport(ch, traceID, o.SpanID, out)
+	}
+}
+
+// OTLP marshals the recorded span forest as an OTLP/JSON
+// ExportTraceServiceRequest. Each root span starts its own trace; span and
+// trace ids are deterministic functions of the spans' start sequence numbers
+// (wall-clock timestamps are the only nondeterministic content). The bytes
+// POST directly to an OTLP collector's /v1/traces endpoint.
+func (t *Tracer) OTLP(service string) ([]byte, error) {
+	var spans []otlpSpan
+	for _, r := range t.roots {
+		otlpExport(r, traceIDHex(r.Seq), "", &spans)
+	}
+	req := otlpTraceRequest{
+		ResourceSpans: []otlpResourceSpans{{
+			Resource: otlpResource{Attributes: []otlpKV{
+				otlpStr("service.name", service),
+			}},
+			ScopeSpans: []otlpScopeSpans{{
+				Scope: otlpScope{Name: otlpScopeName},
+				Spans: spans,
+			}},
+		}},
+	}
+	return json.MarshalIndent(req, "", "  ")
+}
