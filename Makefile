@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race check fault bench bench-compare bench-pr5 bench-pr6 microbench table1 examples clean
+.PHONY: all build vet lint test test-short race parity check fault bench bench-compare bench-pr5 bench-pr6 bench-pr7 microbench table1 examples clean
 
 all: build lint test
 
@@ -35,6 +35,14 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
+# The parallel-engine parity contract, standalone and unabridged: for every
+# backend and workers in {1, 2, P}, outputs, Stats, and traces must be
+# bit-identical, under the race detector, including the GOMAXPROCS=1
+# schedule and the shard fault path. `make race` already runs these; this
+# target is the explicit blocking gate for CI.
+parity:
+	$(GO) test -race -count=1 -run 'WorkersParity|WorkersShard|WorkersOutput|ShardFault|EngineMatchesSequential' . ./internal/empar
+
 # The fault matrix under the race detector: injected transient/permanent
 # faults and bit-flip corruption across {mem, file, file+pipeline}, retry
 # on/off, plus the per-algorithm fault sweep and its goroutine-leak checks.
@@ -64,6 +72,13 @@ bench-pr5:
 # to BENCH_pr6.json.
 bench-pr6:
 	$(GO) run ./cmd/embench -suite pr6 > BENCH_pr6.json
+
+# Regenerate the parallel-engine speedup document: extsort/distsort, buffered
+# and O_DIRECT, workers in {1, 2, 4, NumCPU}, with per-row output digests and
+# logical-I/O parity checks against the sequential engine. JSON goes to
+# BENCH_pr7.json.
+bench-pr7:
+	$(GO) run ./cmd/embench -suite pr7 > BENCH_pr7.json
 
 microbench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

@@ -1,8 +1,9 @@
 package main
 
-// Regression gate: `embench -compare BENCH_pr3.json` reruns the pr3
-// wall-clock suite and diffs every row against the checked-in baseline,
-// matching rows by (bench, n, pipeline, direct). Two regression classes:
+// Regression gate: `embench -compare BENCH_pr3.json` (or BENCH_pr7.json)
+// reruns the suite named inside the baseline document and diffs every row
+// against it — pr3 rows match by (bench, n, pipeline, direct), pr7 rows by
+// (bench, n, direct, workers). Two regression classes:
 //
 //   - logical I/O: any increase in reads or writes is a failure. Logical
 //     counts are deterministic — the model's contract — so there is no noise
@@ -58,6 +59,115 @@ func loadBaseline(path string) (pr3Doc, error) {
 		return doc, fmt.Errorf("baseline %s: suite %q, want pr3", path, doc.Suite)
 	}
 	return doc, nil
+}
+
+// runCompare dispatches on the suite recorded in the baseline document,
+// reruns that suite, and returns the regression count.
+func runCompare(path string, w io.Writer) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var head struct {
+		Suite string `json:"suite"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return 0, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	switch head.Suite {
+	case "pr3":
+		baseline, err := loadBaseline(path)
+		if err != nil {
+			return 0, err
+		}
+		doc, err := runPR3Doc()
+		if err != nil {
+			return 0, err
+		}
+		return compareDocs(baseline, doc, w), nil
+	case "pr7":
+		var baseline pr7Doc
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			return 0, fmt.Errorf("parse baseline %s: %w", path, err)
+		}
+		doc, err := runPR7Doc()
+		if err != nil {
+			return 0, err
+		}
+		return comparePR7(baseline, doc, w), nil
+	default:
+		return 0, fmt.Errorf("baseline %s: unknown suite %q (supported: pr3, pr7)", path, head.Suite)
+	}
+}
+
+type pr7Key struct {
+	Bench   string
+	N       int64
+	Direct  bool
+	Workers int
+}
+
+func (k pr7Key) String() string {
+	mode := "buffered"
+	if k.Direct {
+		mode = "direct"
+	}
+	return fmt.Sprintf("%s/%s n=%d workers=%d", k.Bench, mode, k.N, k.Workers)
+}
+
+// comparePR7 diffs a pr7 run against its baseline with the same rules as pr3:
+// logical I/O is exact, wall-clock gets wallTolerance. A broken parallel
+// invariant in the rerun (ioMatch or outputMatch false) is always a
+// regression, whatever the baseline says.
+func comparePR7(baseline, current pr7Doc, w io.Writer) int {
+	base := make(map[pr7Key]pr7Row, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[pr7Key{r.Bench, r.N, r.Direct, r.Workers}] = r
+	}
+	regressions, matched := 0, 0
+	seen := make(map[pr7Key]bool)
+	for _, cur := range current.Rows {
+		k := pr7Key{cur.Bench, cur.N, cur.Direct, cur.Workers}
+		seen[k] = true
+		if cur.Workers > 1 && !cur.IOMatch {
+			regressions++
+			fmt.Fprintf(w, "compare: FAIL %s  logical I/O differs from the 1-worker row\n", k)
+			continue
+		}
+		if !cur.OutputMatch {
+			regressions++
+			fmt.Fprintf(w, "compare: FAIL %s  output differs from the sequential run\n", k)
+			continue
+		}
+		old, ok := base[k]
+		if !ok {
+			fmt.Fprintf(w, "compare: SKIP %s (not in baseline)\n", k)
+			continue
+		}
+		matched++
+		wallDelta := float64(cur.WallNS-old.WallNS) / float64(old.WallNS)
+		switch {
+		case cur.Reads > old.Reads || cur.Writes > old.Writes:
+			regressions++
+			fmt.Fprintf(w, "compare: FAIL %s  logical I/O regressed: reads %d -> %d, writes %d -> %d\n",
+				k, old.Reads, cur.Reads, old.Writes, cur.Writes)
+		case wallDelta > wallTolerance:
+			regressions++
+			fmt.Fprintf(w, "compare: FAIL %s  wall-clock regressed %+.1f%% (%.2fms -> %.2fms, tolerance %.0f%%)\n",
+				k, 100*wallDelta, float64(old.WallNS)/1e6, float64(cur.WallNS)/1e6, 100*wallTolerance)
+		default:
+			fmt.Fprintf(w, "compare: ok   %s  wall %+.1f%%  ios %d -> %d\n",
+				k, 100*wallDelta, old.IOs, cur.IOs)
+		}
+	}
+	for _, r := range baseline.Rows {
+		k := pr7Key{r.Bench, r.N, r.Direct, r.Workers}
+		if !seen[k] {
+			fmt.Fprintf(w, "compare: SKIP %s (baseline row not measured this run)\n", k)
+		}
+	}
+	fmt.Fprintf(w, "compare: %d rows matched, %d regressions\n", matched, regressions)
+	return regressions
 }
 
 // compareDocs diffs current against baseline row by row, writing a report

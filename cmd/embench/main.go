@@ -19,9 +19,11 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"log/slog"
@@ -29,6 +31,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	empart "repro"
@@ -51,10 +54,10 @@ var (
 	flagPre     = flag.Int("prefetch", 0, "read-ahead depth in blocks; >0 enables the async pipeline (file-backed only)")
 	flagWB      = flag.Int("writebehind", 0, "write-behind queue depth in blocks; >0 enables the async pipeline (file-backed only)")
 	flagDirect  = flag.Bool("direct", false, "open backing files with O_DIRECT, bypassing the page cache (file-backed only)")
-	flagSuite   = flag.String("suite", "", "named suite: 'pr3' (pipeline A/B), 'pr5' (checksum A/B) or 'pr6' (telemetry A/B); emits the suite JSON and exits")
+	flagSuite   = flag.String("suite", "", "named suite: 'pr3' (pipeline A/B), 'pr5' (checksum A/B), 'pr6' (telemetry A/B) or 'pr7' (parallel-engine speedup curve); emits the suite JSON and exits")
 	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
 	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
-	flagCompare = flag.String("compare", "", "baseline BENCH_pr3.json: rerun the pr3 suite, diff against it, and exit nonzero on any logical-I/O or >20% wall-clock regression")
+	flagCompare = flag.String("compare", "", "baseline BENCH_pr3.json or BENCH_pr7.json: rerun that suite, diff against it, and exit nonzero on any logical-I/O or >20% wall-clock regression")
 	flagProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the benchmarks run")
 	flagProg    = flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
@@ -200,15 +203,11 @@ func main() {
 	}
 	defer stopTelemetry()
 	if *flagCompare != "" {
-		baseline, err := loadBaseline(*flagCompare)
+		n, err := runCompare(*flagCompare, os.Stderr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		doc, err := runPR3Doc()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if n := compareDocs(baseline, doc, os.Stderr); n > 0 {
+		if n > 0 {
 			stopTelemetry()
 			os.Exit(1)
 		}
@@ -231,8 +230,13 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	case "pr7":
+		if err := runPR7(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	default:
-		log.Fatalf("unknown suite %q (supported: pr3, pr5, pr6)", *flagSuite)
+		log.Fatalf("unknown suite %q (supported: pr3, pr5, pr6, pr7)", *flagSuite)
 	}
 	if *flagQuick {
 		*flagN = 1 << 15
@@ -1356,6 +1360,278 @@ func runPR6Doc() (pr6Doc, error) {
 						mode, b.name, n, float64(off.WallNS)/1e6, level, float64(on.WallNS)/1e6, on.Overhead, on.LogEvents, on.IOMatch)
 				}
 			}
+		}
+	}
+	return doc, nil
+}
+
+// --- suite pr7: parallel sharded engine speedup curve -----------------------
+//
+// The parallel engine's contract is that worker count is invisible to the
+// logical model: same outputs, same Stats, for every P. This suite prices what
+// the workers buy on the wall clock. It runs the two big sort-shaped rows
+// (extsort and distsort, both routed through the engine) on file-backed disks,
+// buffered and O_DIRECT, sweeping workers over {1, 2, 4, NumCPU}. Every row is
+// best-of-reps; the 1-worker row is the speedup baseline, and an untimed
+// sequential (Workers=0) run of each configuration supplies the output digest
+// all engine rows must reproduce. The direct sub-suite is where the speedup
+// lives on a small machine: every positioned I/O pays real device latency, so
+// P workers keep P transfers in flight where the sequential path blocks on one.
+
+type pr7Row struct {
+	Bench     string  `json:"bench"`
+	N         int64   `json:"n"`
+	Direct    bool    `json:"direct"`
+	Workers   int     `json:"workers"` // 0 = sequential engine-off baseline
+	Shards    int     `json:"shards,omitempty"`
+	Reads     int64   `json:"reads"`
+	Writes    int64   `json:"writes"`
+	IOs       int64   `json:"ios"`
+	WallNS    int64   `json:"wallNs"`
+	NsPerElem float64 `json:"nsPerElem"`
+	MBps      float64 `json:"mbps"`
+	// Balance is max/mean of per-shard output bytes (1.0 = the sampled
+	// splitters cut perfectly even ranges). Engine rows only.
+	Balance float64 `json:"balance,omitempty"`
+	// Workers>1 rows: wall(1 worker)/wall(this), and whether the logical I/O
+	// counters matched the 1-worker row exactly.
+	Speedup float64 `json:"speedup,omitempty"`
+	IOMatch bool    `json:"ioMatch,omitempty"`
+	// Every engine row: the output key sequence hashed identical to the
+	// sequential run of the same configuration.
+	OutputMatch bool `json:"outputMatch"`
+}
+
+type pr7Doc struct {
+	Suite  string `json:"suite"`
+	Config struct {
+		M       int   `json:"m"`
+		B       int   `json:"b"`
+		Reps    int   `json:"reps"`
+		Workers []int `json:"workers"`
+	} `json:"config"`
+	Host struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		NumCPU     int    `json:"numCPU"`
+		DirectIO   bool   `json:"directIO"`
+	} `json:"host"`
+	Rows []pr7Row `json:"rows"`
+}
+
+// runPR7 runs the parallel-engine suite and encodes the document to w.
+func runPR7(w io.Writer) error {
+	doc, err := runPR7Doc()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// pr7WorkerCounts is the suite's workers dimension: {1, 2, 4, NumCPU} with
+// duplicates removed, ascending.
+func pr7WorkerCounts() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// keyDigest hashes the key sequence of a file's contents (FNV-1a). Sorted
+// output is a unique sequence per input multiset, so digest equality is output
+// equality.
+func keyDigest(elems []empart.Elem) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, e := range elems {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.Key))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func runPR7Doc() (pr7Doc, error) {
+	var doc pr7Doc
+	dir, err := os.MkdirTemp("", "embench-pr7-")
+	if err != nil {
+		return doc, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := empart.Config{M: 1 << 18, B: 1 << 7}
+	workerCounts := pr7WorkerCounts()
+	reps := 3
+
+	// On hosts with fewer cores than workers (CI runners, small VMs) give the
+	// runtime a P per potentially-blocked syscall worker plus compute headroom,
+	// or workers convoy behind sysmon's syscall handoff instead of keeping the
+	// device queue full. 2x the deepest worker count measured slightly better
+	// than an exact match on the bench host; the raised value is recorded in
+	// doc.Host.GOMAXPROCS.
+	if want := 2 * workerCounts[len(workerCounts)-1]; runtime.GOMAXPROCS(0) < want {
+		runtime.GOMAXPROCS(want)
+	}
+
+	type bench struct {
+		name string
+		run  func(sys *empart.System, f *empart.File) (*empart.File, error)
+	}
+	benches := []bench{
+		{"extsort", func(sys *empart.System, f *empart.File) (*empart.File, error) {
+			return sys.Sort(f)
+		}},
+		{"distsort", func(sys *empart.System, f *empart.File) (*empart.File, error) {
+			return sys.DistributionSort(f)
+		}},
+	}
+	type spec struct {
+		bench  bench
+		n      int64
+		direct bool
+	}
+	var specs []spec
+	for _, b := range benches {
+		specs = append(specs, spec{b, 1 << 21, false})
+	}
+	// The direct rows are the headline: the extsort one is the big row the
+	// speedup acceptance is measured on.
+	specs = append(specs,
+		spec{benches[0], 1 << 22, true},
+		spec{benches[1], 1 << 21, true},
+	)
+	if *flagQuick {
+		reps = 2
+		specs = specs[:0]
+		for _, b := range benches {
+			specs = append(specs, spec{b, 1 << 16, false}, spec{b, 1 << 16, true})
+		}
+	}
+
+	doc.Suite = "pr7"
+	doc.Config.M, doc.Config.B, doc.Config.Reps = cfg.M, cfg.B, reps
+	doc.Config.Workers = workerCounts
+	doc.Host.GOOS, doc.Host.GOARCH = runtime.GOOS, runtime.GOARCH
+	doc.Host.GOMAXPROCS, doc.Host.NumCPU = runtime.GOMAXPROCS(0), runtime.NumCPU()
+	doc.Host.DirectIO = emio.DirectIOSupported(dir)
+
+	seq := 0
+	observe := func(b bench, n int64, direct bool, workers, nreps int) (pr7Row, uint64, error) {
+		var best time.Duration
+		var stats empart.Stats
+		var digest uint64
+		var rep7 empart.ShardReport
+		for rep := 0; rep < nreps; rep++ {
+			c := cfg
+			c.Workers = workers
+			c.Pipeline.Direct = direct
+			seq++
+			path := filepath.Join(dir, fmt.Sprintf("run-%d.dat", seq))
+			sys, err := empart.NewFileBacked(c, path)
+			if err != nil {
+				return pr7Row{}, 0, err
+			}
+			if telReg != nil {
+				sys.SetMetrics(telReg)
+			}
+			f := sys.Stage(workload.Elems(workload.Uniform, int(n), cfg.B, 0x9427))
+			sys.ResetStats()
+			start := time.Now()
+			out, runErr := b.run(sys, f)
+			wall := time.Since(start)
+			st := sys.Stats()
+			if runErr == nil && rep == 0 {
+				// Untimed: the digest proves output identity, it is not part
+				// of the measured work.
+				digest = keyDigest(sys.Read(out))
+				rep7 = sys.ShardReport()
+			}
+			if runErr == nil {
+				out.Release()
+			}
+			sys.Close()
+			os.Remove(path)
+			if runErr != nil {
+				return pr7Row{}, 0, fmt.Errorf("%s n=%d direct=%v workers=%d: %w", b.name, n, direct, workers, runErr)
+			}
+			if rep == 0 {
+				stats, best = st, wall
+			} else {
+				if st != stats {
+					return pr7Row{}, 0, fmt.Errorf("%s n=%d workers=%d: I/O counts differ across reps: %v vs %v",
+						b.name, n, workers, st, stats)
+				}
+				if wall < best {
+					best = wall
+				}
+			}
+		}
+		r := pr7Row{
+			Bench: b.name, N: n, Direct: direct, Workers: workers,
+			Shards: rep7.Shards,
+			Reads:  stats.Reads, Writes: stats.Writes, IOs: stats.Total(),
+		}
+		if best > 0 {
+			r.WallNS = best.Nanoseconds()
+			r.NsPerElem = float64(best.Nanoseconds()) / float64(n)
+			r.MBps = float64(r.IOs*int64(cfg.B)*16) / best.Seconds() / 1e6
+		}
+		if len(rep7.ShardBytes) > 0 {
+			var sum, max int64
+			for _, by := range rep7.ShardBytes {
+				sum += by
+				if by > max {
+					max = by
+				}
+			}
+			if sum > 0 {
+				r.Balance = float64(max) * float64(len(rep7.ShardBytes)) / float64(sum)
+			}
+		}
+		return r, digest, nil
+	}
+
+	for _, sp := range specs {
+		mode := "buffered"
+		if sp.direct {
+			mode = "direct"
+			if !doc.Host.DirectIO {
+				fmt.Fprintf(os.Stderr, "pr7: O_DIRECT unsupported here; skipping %s n=%d direct row\n", sp.bench.name, sp.n)
+				continue
+			}
+		}
+		// Sequential baseline: one untimed rep whose output digest every
+		// engine row must reproduce bit-for-bit.
+		seqRow, wantDigest, err := observe(sp.bench, sp.n, sp.direct, 0, 1)
+		if err != nil {
+			return doc, err
+		}
+		seqRow.OutputMatch = true
+		doc.Rows = append(doc.Rows, seqRow)
+		var base pr7Row
+		for i, w := range workerCounts {
+			r, digest, err := observe(sp.bench, sp.n, sp.direct, w, reps)
+			if err != nil {
+				return doc, err
+			}
+			r.OutputMatch = digest == wantDigest
+			if i == 0 {
+				base = r
+			} else {
+				r.Speedup = float64(base.WallNS) / float64(r.WallNS)
+				r.IOMatch = base.Reads == r.Reads && base.Writes == r.Writes
+			}
+			doc.Rows = append(doc.Rows, r)
+			fmt.Fprintf(os.Stderr, "pr7: %-8s %-9s n=%-8d w=%-2d %8.2fms  speedup %.2fx  ioMatch=%v  outMatch=%v  shards=%d balance=%.2f\n",
+				mode, sp.bench.name, sp.n, w, float64(r.WallNS)/1e6, r.Speedup, r.IOMatch || i == 0, r.OutputMatch, r.Shards, r.Balance)
 		}
 	}
 	return doc, nil

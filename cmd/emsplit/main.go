@@ -21,6 +21,7 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,6 +36,7 @@ var (
 	flagN       = flag.Int("n", 1<<18, "input size N")
 	flagM       = flag.Int("m", 1<<12, "memory size M")
 	flagB       = flag.Int("b", 1<<5, "block size B")
+	flagWorkers = flag.Int("workers", 0, "worker goroutines for the parallel sharded engine (0 = sequential engine; the parallel engine's output matches it bit for bit, and engine I/O counts are identical for every worker count)")
 	flagK       = flag.Int64("k", 64, "partition/splitter/rank count K")
 	flagA       = flag.Int64("a", 0, "lower size bound a")
 	flagBMax    = flag.Int64("bmax", 0, "upper size bound b (0 means N)")
@@ -57,6 +59,7 @@ type options struct {
 	algo     string
 	n        int
 	m, b     int
+	workers  int
 	k, a     int64
 	bmax     int64
 	dist     string
@@ -78,8 +81,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("emsplit: ")
 	flag.Parse()
+	// The parallel engine's workers spend most of their time blocked in
+	// syscalls; on hosts with fewer cores than workers, give the runtime a P
+	// per blocked worker plus compute headroom so the device queue stays full.
+	if want := 2 * *flagWorkers; want > runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(want)
+	}
 	report, err := execute(options{
-		algo: *flagAlgo, n: *flagN, m: *flagM, b: *flagB,
+		algo: *flagAlgo, n: *flagN, m: *flagM, b: *flagB, workers: *flagWorkers,
 		k: *flagK, a: *flagA, bmax: *flagBMax,
 		dist: *flagDist, seed: *flagSeed, lo: *flagLo, hi: *flagHi,
 		trace: *flagTrace, checksum: *flagSum, retry: *flagRetry,
@@ -112,6 +121,7 @@ func execute(o options) (string, error) {
 	var sb strings.Builder
 	cfg := empart.Config{
 		M: o.m, B: o.b,
+		Workers:  o.workers,
 		Checksum: o.checksum,
 		Retry:    empart.Retry{MaxAttempts: o.retry},
 		Log:      empart.LogConfig{Level: slog.LevelDebug, Path: o.logPath},
@@ -239,6 +249,9 @@ func execute(o options) (string, error) {
 		fmt.Fprintf(&sb, "paper bound: %.0f I/Os -> fitted constant %.2f\n", bound, float64(st.Total())/bound)
 	}
 	fmt.Fprintf(&sb, "peak memory: %d of M=%d elements\n", sys.PeakMemory(), o.m)
+	if rep := sys.ShardReport(); rep.Shards > 1 {
+		fmt.Fprintf(&sb, "parallel engine: %d shards, %d workers\n", rep.Shards, rep.Workers)
+	}
 	if o.trace {
 		fmt.Fprintf(&sb, "\nphase trace:\n%s", sys.TraceReport())
 	}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/distsort"
 	"repro/internal/emio"
 	"repro/internal/emio/metrics"
+	"repro/internal/empar"
 	"repro/internal/emsel"
 	"repro/internal/extsort"
 	"repro/internal/histogram"
@@ -84,6 +85,9 @@ type (
 	Stats = emio.Stats
 	// File is a sequence of elements on the simulated disk.
 	File = emio.File
+	// Disk is the simulated disk itself: block store plus counters. Exposed
+	// for the shard hook and advanced harness use.
+	Disk = emio.Disk
 	// Params carries (K, A, B): partition count and the admissible size
 	// range [A, B] for the approximate problems.
 	Params = core.Params
@@ -115,6 +119,13 @@ type (
 	EventLog = emio.EventLog
 	// LogEvent is one record of the event log's in-memory ring.
 	LogEvent = emio.Event
+	// ShardError wraps a failure of the parallel engine with the shard task
+	// index that raised it; errors.As/Is reach the cause. Match with
+	// errors.As.
+	ShardError = empar.ShardError
+	// ShardReport describes the shard layout of the parallel engine's most
+	// recent operation (System.ShardReport).
+	ShardReport = empar.Report
 )
 
 // Re-exported variant constants.
@@ -135,9 +146,12 @@ var (
 // System is an external-memory machine instance: a simulated disk with I/O
 // accounting, a memory-budget accountant armed at M, and the algorithm
 // suite. A System is not safe for concurrent use (the EM model is
-// sequential).
+// sequential); with cfg.Workers > 0 the sorting-based operations fan out to
+// worker goroutines internally, but every call still joins them before
+// returning, so the caller-facing discipline is unchanged.
 type System struct {
 	ctx *emio.Ctx
+	par *empar.Engine // parallel sharded engine; nil when cfg.Workers == 0
 }
 
 // New creates a System for the given machine configuration, with blocks held
@@ -147,7 +161,25 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{ctx: ctx}, nil
+	s := &System{ctx: ctx}
+	if err := s.armWorkers(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// armWorkers constructs the parallel engine when the configuration asks for
+// worker goroutines.
+func (s *System) armWorkers(cfg Config) error {
+	if cfg.Workers == 0 {
+		return nil
+	}
+	eng, err := empar.New(s.ctx, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	s.par = eng
+	return nil
 }
 
 // NewFileBacked creates a System whose simulated disk is backed by a real
@@ -170,7 +202,12 @@ func NewFileBacked(cfg Config, path string) (*System, error) {
 		d.Close()
 		return nil, err
 	}
-	return &System{ctx: ctx}, nil
+	s := &System{ctx: ctx}
+	if err := s.armWorkers(cfg); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Close releases backend resources (the backing file for file-backed
@@ -195,6 +232,29 @@ func (s *System) Stats() Stats { return s.ctx.Disk().Stats() }
 // ResetStats zeroes the I/O counters; call it after staging inputs so only
 // the algorithms are measured.
 func (s *System) ResetStats() { s.ctx.Disk().ResetStats() }
+
+// Workers returns the configured worker-goroutine count (0 = sequential).
+func (s *System) Workers() int { return s.ctx.Config().Workers }
+
+// ShardReport describes the shard layout of the parallel engine's most
+// recent operation: shard count, workers used, per-shard output bytes. The
+// zero report is returned for sequential systems.
+func (s *System) ShardReport() ShardReport {
+	if s.par == nil {
+		return ShardReport{}
+	}
+	return s.par.LastReport()
+}
+
+// SetShardHook installs a callback invoked for every shard sub-disk the
+// parallel engine creates, before any worker touches it. The fault harness
+// uses it to arm an injector on a single shard; it is a no-op on sequential
+// systems.
+func (s *System) SetShardHook(h func(shard int, d *Disk)) {
+	if s.par != nil {
+		s.par.SetShardHook(h)
+	}
+}
 
 // PeakMemory returns the high-water mark of the memory accountant.
 func (s *System) PeakMemory() int64 { return s.ctx.Mem().Peak() }
@@ -400,13 +460,26 @@ func (s *System) Read(f *File) []Elem { return f.Snapshot() }
 
 // Sort external-merge-sorts f into a new file:
 // O((N/B) lg_{M/B}(N/B)) I/Os. The baseline against which everything else is
-// compared.
-func (s *System) Sort(f *File) (*File, error) { return extsort.Sort(s.ctx, f) }
+// compared. With Workers > 0 the parallel engine runs it over sharded
+// sub-disks; the output is byte-identical either way (the sorted sequence is
+// unique) and the logical accounting is identical across worker counts.
+func (s *System) Sort(f *File) (*File, error) {
+	if s.par != nil {
+		return s.par.Sort(f)
+	}
+	return extsort.Sort(s.ctx, f)
+}
 
 // DistributionSort sorts f by Aggarwal-Vitter distribution (splitter-based
 // scattering) instead of merging: the same Θ((N/B) lg_{M/B}(N/B)) bound,
-// built on the paper's approximate-splitter machinery.
-func (s *System) DistributionSort(f *File) (*File, error) { return distsort.Sort(s.ctx, f) }
+// built on the paper's approximate-splitter machinery. With Workers > 0 it
+// routes through the parallel engine (see internal/distsort's package doc).
+func (s *System) DistributionSort(f *File) (*File, error) {
+	if s.par != nil {
+		return s.par.Sort(f)
+	}
+	return distsort.Sort(s.ctx, f)
+}
 
 // Select returns the element of the given 1-based rank in O(N/B) I/Os.
 func (s *System) Select(f *File, rank int64) (Elem, error) {
@@ -423,18 +496,27 @@ func (s *System) MultiSelect(f *File, ranks []int64) (*File, error) {
 // (concatenated output) in O((N/B) lg_{M/B} K) I/Os: the Aggarwal-Vitter
 // algorithm, and the baseline Theorem 4 separates multi-selection from.
 func (s *System) MultiPartition(f *File, sizes []int64) (*File, error) {
+	if s.par != nil {
+		return s.par.MultiPartition(f, sizes)
+	}
 	return mpart.Partition(s.ctx, f, sizes)
 }
 
 // Splitters solves approximate K-splitters (Theorem 5): K-1 elements of f
 // whose induced buckets all have sizes in [p.A, p.B].
 func (s *System) Splitters(f *File, p Params) (*File, error) {
+	if s.par != nil {
+		return s.par.Splitters(f, p)
+	}
 	return core.Splitters(s.ctx, f, p)
 }
 
 // Partition solves approximate K-partitioning (Theorem 6): K order-respecting
 // partitions with sizes in [p.A, p.B], concatenated.
 func (s *System) Partition(f *File, p Params) (*PartitionResult, error) {
+	if s.par != nil {
+		return s.par.Partition(f, p)
+	}
 	return core.Partition(s.ctx, f, p)
 }
 

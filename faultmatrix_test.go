@@ -198,6 +198,71 @@ func TestFaultMatrixCorruptionDetected(t *testing.T) {
 	}
 }
 
+// TestFaultMatrixShardFault is the parallel row of the matrix: a fault
+// injected on one shard sub-disk must surface from the parallel engine as a
+// typed error chain — *ShardError naming the shard, wrapping the usual
+// *TransientError/ErrInjected marks — without deadlocking the other workers
+// (every call joins its goroutines even on failure) and without leaking
+// goroutines. Each shard has its own injector slot, so the schedule fires
+// only on the chosen shard no matter which worker runs it.
+func TestFaultMatrixShardFault(t *testing.T) {
+	const n = 1 << 12
+	cfg := Config{M: 1 << 10, B: 1 << 5, Workers: 4}
+	elems := workload.Elems(workload.Uniform, n, cfg.B, 0x5a4d)
+
+	for _, mode := range faultMatrixModes() {
+		t.Run(mode.name, func(t *testing.T) {
+			for _, kind := range []string{"read", "write"} {
+				for _, shard := range []int{0, 1, 3} {
+					base := emio.NumGoroutines()
+					c := cfg
+					c.Pipeline = mode.pipe
+					sys, err := NewFileBacked(c, filepath.Join(t.TempDir(), "s.dat"))
+					if err != nil {
+						t.Fatal(err)
+					}
+					f := sys.Stage(elems)
+					inj := NewInjector(0x5a4d)
+					if kind == "read" {
+						inj.FailRead(0, 1)
+					} else {
+						inj.FailWrite(0, 1)
+					}
+					sys.SetShardHook(func(k int, d *Disk) {
+						if k == shard {
+							d.SetInjector(inj)
+						}
+					})
+					out, err := sys.Sort(f)
+					if err == nil {
+						out.Release()
+						t.Fatalf("%s fault on shard %d: sort succeeded", kind, shard)
+					}
+					var se *ShardError
+					if !errors.As(err, &se) {
+						t.Fatalf("%s fault on shard %d: error = %v, want *ShardError", kind, shard, err)
+					}
+					if se.Shard != shard {
+						t.Errorf("%s fault: ShardError names shard %d, want %d", kind, se.Shard, shard)
+					}
+					var te *emio.TransientError
+					if !errors.As(err, &te) {
+						t.Errorf("%s fault on shard %d: chain lacks *TransientError: %v", kind, shard, err)
+					}
+					if !errors.Is(err, emio.ErrInjected) {
+						t.Errorf("%s fault on shard %d: chain lacks ErrInjected: %v", kind, shard, err)
+					}
+					if st := inj.Stats(); st.Transient != 1 {
+						t.Errorf("%s fault: injector fired %d faults, want exactly 1 (other shards untouched)", kind, st.Transient)
+					}
+					sys.Close()
+					emio.RequireNoGoroutineLeaks(t, base)
+				}
+			}
+		})
+	}
+}
+
 // TestFaultMatrixProbabilistic soaks the retry layer under a seeded random
 // fault stream dense enough to hit many transfers, proving recovery is not an
 // artifact of the scripted schedule. Reproducible: the injector's stream is

@@ -6,6 +6,11 @@
 // fit in memory. The cost is the same Θ((N/B) lg_{M/B}(N/B)) as merge sort;
 // the package exists to exercise the splitter engine as a real substrate
 // consumer and to provide the classic merge-vs-distribution ablation.
+//
+// With Config.Workers > 0 the facade routes DistributionSort through the
+// parallel sharded engine (internal/empar) instead: the sorted output is the
+// unique nondecreasing (Key, Aux) sequence either way, so the two paths are
+// output-bit-identical; only the I/O schedule differs.
 package distsort
 
 import (

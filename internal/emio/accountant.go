@@ -3,6 +3,7 @@ package emio
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Accountant meters an algorithm's internal-memory consumption against the
@@ -13,10 +14,16 @@ import (
 //
 // Charges are in elements (two words). Integer side arrays are charged at two
 // int64s per element via Ctx.AllocInts.
+//
+// The meter is lock-free and safe for concurrent use: Charge reserves with a
+// compare-and-swap against the limit, Credit is an atomic add, and the peak
+// is maintained by a CAS-max loop. The parallel engine gives every shard its
+// own Accountant and merges peaks deterministically (in shard order) through
+// RaisePeak, so totals are identical for every worker count.
 type Accountant struct {
 	limit int64
-	used  int64
-	peak  int64
+	used  atomic.Int64
+	peak  atomic.Int64
 }
 
 // ErrMemoryBudget is wrapped by allocation failures.
@@ -34,14 +41,17 @@ func (a *Accountant) Charge(n int64) error {
 	if n < 0 {
 		panic(fmt.Sprintf("emio: negative memory charge %d", n))
 	}
-	if a.limit > 0 && a.used+n > a.limit {
-		return fmt.Errorf("%w: in use %d + requested %d > M=%d", ErrMemoryBudget, a.used, n, a.limit)
+	for {
+		cur := a.used.Load()
+		next := cur + n
+		if a.limit > 0 && next > a.limit {
+			return fmt.Errorf("%w: in use %d + requested %d > M=%d", ErrMemoryBudget, cur, n, a.limit)
+		}
+		if a.used.CompareAndSwap(cur, next) {
+			a.RaisePeak(next)
+			return nil
+		}
 	}
-	a.used += n
-	if a.used > a.peak {
-		a.peak = a.used
-	}
-	return nil
 }
 
 // Credit records the release of n elements.
@@ -49,21 +59,32 @@ func (a *Accountant) Credit(n int64) {
 	if n < 0 {
 		panic(fmt.Sprintf("emio: negative memory credit %d", n))
 	}
-	a.used -= n
-	if a.used < 0 {
-		panic(fmt.Sprintf("emio: memory meter underflow (%d)", a.used))
+	if v := a.used.Add(-n); v < 0 {
+		panic(fmt.Sprintf("emio: memory meter underflow (%d)", v))
 	}
 }
 
 // Used returns the elements currently charged.
-func (a *Accountant) Used() int64 { return a.used }
+func (a *Accountant) Used() int64 { return a.used.Load() }
 
 // Peak returns the high-water mark of the meter.
-func (a *Accountant) Peak() int64 { return a.peak }
+func (a *Accountant) Peak() int64 { return a.peak.Load() }
 
 // Limit returns the budget (0 or negative means unlimited).
 func (a *Accountant) Limit() int64 { return a.limit }
 
+// RaisePeak lifts the high-water mark to at least v (CAS-max; never lowers
+// it). The parallel engine uses it to fold per-shard peaks into the parent
+// meter; the tracer uses it to restore an enclosing span's scoped peak.
+func (a *Accountant) RaisePeak(v int64) {
+	for {
+		p := a.peak.Load()
+		if v <= p || a.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
 // ResetPeak lowers the high-water mark to the current usage, so a caller can
 // measure the peak of one phase in isolation.
-func (a *Accountant) ResetPeak() { a.peak = a.used }
+func (a *Accountant) ResetPeak() { a.peak.Store(a.used.Load()) }

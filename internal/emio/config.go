@@ -21,9 +21,18 @@ import (
 //
 // Log arms the structured event log (see LogConfig); like the other
 // telemetry legs it is strictly observational and changes no outputs.
+//
+// Workers selects the parallel sharded execution engine: 0 (the default)
+// runs every algorithm sequentially; w >= 1 runs the parallelizable
+// operations over S logical shards driven by w worker goroutines. The shard
+// count S is a deterministic function of M and B alone, so outputs, logical
+// Stats and trace JSON are bit-identical for every positive worker count —
+// workers change only wall-clock speed.
 type Config struct {
 	M int // memory capacity, in elements
 	B int // block size, in elements
+
+	Workers int // parallel worker goroutines; 0 = sequential execution
 
 	Pipeline Pipeline // async physical-I/O pipeline (file-backed disks)
 
@@ -95,6 +104,9 @@ func (c Config) Validate() error {
 	}
 	if c.M < 2*c.B {
 		return fmt.Errorf("%w: memory M=%d with block size B=%d, need M >= 2B", ErrBadConfig, c.M, c.B)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: workers %d < 0", ErrBadConfig, c.Workers)
 	}
 	if err := c.Retry.validate(); err != nil {
 		return err

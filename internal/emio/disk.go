@@ -222,6 +222,15 @@ func (d *Disk) Stats() Stats { return d.stats }
 // their inputs so that only the algorithm under test is measured.
 func (d *Disk) ResetStats() { d.stats = Stats{} }
 
+// AddStats folds a logical-I/O delta into the disk's counters. The parallel
+// engine accounts each shard's transfers on the shard's own sub-disk and
+// then folds the deltas into the parent in shard order at phase barriers, so
+// the parent's Stats are deterministic for every worker count.
+func (d *Disk) AddStats(s Stats) {
+	d.stats.Reads += s.Reads
+	d.stats.Writes += s.Writes
+}
+
 // EnableChecksums arms per-block CRC32C checksums: every block append
 // records the checksum of its on-disk image in a memory-resident sidecar,
 // and every read verifies the decoded payload against it, returning a
@@ -328,6 +337,16 @@ func (d *Disk) PeakLiveBlocks() int64 { return d.peakLive }
 
 // ResetPeakLive lowers the disk-footprint high-water mark to current usage.
 func (d *Disk) ResetPeakLive() { d.peakLive = d.liveBlocks }
+
+// RaisePeakLive lifts the disk-footprint high-water mark to at least v
+// (never lowers it). The tracer uses it to restore an enclosing span's
+// scoped peak; the parallel engine uses it to fold shard footprints into the
+// parent disk's meter.
+func (d *Disk) RaisePeakLive(v int64) {
+	if v > d.peakLive {
+		d.peakLive = v
+	}
+}
 
 // noteAlloc and noteFree maintain the footprint counters.
 func (d *Disk) noteAlloc(blocks int64) {

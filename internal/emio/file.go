@@ -28,6 +28,14 @@ type File struct {
 	mem     [][]Elem // memStore payloads
 	extents []int64  // fileStore block offsets
 	sums    []uint32 // per-block CRC32C sidecar (disks with checksums armed)
+
+	// View metadata (see Disk.NewView): a view is a read-only window onto a
+	// contiguous block range of another disk's file. viewSrc is the backing
+	// file and viewOff the first backing block of the window; both are nil/0
+	// for ordinary files. Views own no storage — Release drops only the
+	// window's metadata.
+	viewSrc *File
+	viewOff int
 }
 
 // Errors returned by block-level file operations.
@@ -62,7 +70,11 @@ func (f *File) Release() {
 		return
 	}
 	f.disk.store.release(f)
-	f.disk.noteFree(int64(f.nblocks))
+	if f.viewSrc == nil {
+		// Views own no blocks: they were registered without noteAlloc, so
+		// releasing one must not lower the footprint either.
+		f.disk.noteFree(int64(f.nblocks))
+	}
 	f.disk.noteRelease(f)
 	f.n = 0
 	f.nblocks = 0
@@ -83,6 +95,9 @@ func (f *File) blockLen(i int) int {
 // memory-backed disks it is the block's dense-log position (the offset it
 // would have on a file backing).
 func (f *File) blockOff(i int) int64 {
+	if f.viewSrc != nil {
+		return f.viewSrc.blockOff(f.viewOff + i)
+	}
 	if i < len(f.extents) {
 		return f.extents[i]
 	}

@@ -3,6 +3,7 @@ package emio
 import (
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -60,7 +61,11 @@ type (
 // memStore keeps blocks as slices hanging off the File, recycling released
 // block slices through a bounded per-disk free list so that scratch-heavy
 // runs (merge passes, recursion) reuse memory instead of churning the GC.
+// The free list is mutex-guarded so shard sub-disks (see shard.go) can share
+// the store from worker goroutines; everything else the store touches hangs
+// off the File being operated on.
 type memStore struct {
+	mu   sync.Mutex
 	free [][]Elem
 }
 
@@ -95,23 +100,34 @@ func (s *memStore) append(f *File, payload []Elem) error {
 			return storeWriteError(f.name, off, err)
 		}
 	}
-	var blk []Elem
-	if k := len(s.free); k > 0 && cap(s.free[k-1]) >= len(payload) {
-		blk, s.free[k-1], s.free = s.free[k-1][:len(payload)], nil, s.free[:k-1]
-	} else {
-		blk = make([]Elem, len(payload), f.disk.blockSize)
-	}
+	blk := s.takeBlock(len(payload), f.disk.blockSize)
 	copy(blk, payload)
 	f.mem = append(f.mem, blk)
 	return nil
 }
 
+// takeBlock pops a recycled block slice of sufficient capacity off the free
+// list, or allocates a fresh one.
+func (s *memStore) takeBlock(n, blockSize int) []Elem {
+	s.mu.Lock()
+	if k := len(s.free); k > 0 && cap(s.free[k-1]) >= n {
+		blk := s.free[k-1][:n]
+		s.free[k-1], s.free = nil, s.free[:k-1]
+		s.mu.Unlock()
+		return blk
+	}
+	s.mu.Unlock()
+	return make([]Elem, n, blockSize)
+}
+
 func (s *memStore) release(f *File) {
+	s.mu.Lock()
 	for _, blk := range f.mem {
 		if len(s.free) < maxMemFreeBlocks && cap(blk) > 0 {
 			s.free = append(s.free, blk)
 		}
 	}
+	s.mu.Unlock()
 	f.mem = nil
 }
 
@@ -176,8 +192,14 @@ type fileStore struct {
 	bulk    bool   // zero-copy bulk marshalling enabled (pipeline on)
 	direct  bool   // O_DIRECT backing: transfers padded to directAlign
 
-	free  map[int]*extentQueue // released extents keyed by byte length
-	nfree int64                // number of extents on the free list
+	// Extent allocator, guarded by amu: shard sub-disks (see shard.go)
+	// allocate and free extents from worker goroutines. Uncontended in
+	// sequential runs.
+	amu    sync.Mutex
+	free   map[int]*extentQueue // released extents keyed by byte length
+	nfree  int64                // number of extents on the free list
+	zeroed int64                // bytes of backing file physically zero-filled (direct mode)
+	zbuf   []byte               // aligned zero buffer for prewriting, amu-guarded
 	physR atomic.Int64         // positioned reads issued (incl. prefetch goroutines)
 	physW atomic.Int64         // positioned writes issued (incl. the write worker)
 	pipe  Pipeline             // normalized pipeline configuration
@@ -245,9 +267,11 @@ func (q *extentQueue) pop() (int64, bool) {
 // allocExtent returns the backing offset for a new block of nbytes, reusing
 // a released extent of the same size when one is available.
 func (s *fileStore) allocExtent(nbytes int) int64 {
+	s.amu.Lock()
 	if q := s.free[nbytes]; q != nil {
 		if off, ok := q.pop(); ok {
 			s.nfree--
+			s.amu.Unlock()
 			if sm := s.sm.Load(); sm != nil {
 				sm.extentReuses.Inc()
 			}
@@ -256,14 +280,50 @@ func (s *fileStore) allocExtent(nbytes int) int64 {
 	}
 	off := s.end
 	s.end += int64(nbytes)
+	end := s.end
+	if s.direct && end > s.zeroed {
+		s.prewriteLocked(end)
+	}
+	s.amu.Unlock()
 	if sm := s.sm.Load(); sm != nil {
-		sm.backingBytes.Set(s.end)
+		sm.backingBytes.Set(end)
 	}
 	return off
 }
 
+// prewriteChunk is how far the backing file is zero-filled ahead of the
+// allocation cursor in direct mode. ext4 serializes extending O_DIRECT
+// writes on the exclusive inode lock (they allocate blocks and move i_size),
+// while overwrites of already-written space take the lock shared and proceed
+// in parallel. Zeroing ahead of the cursor in bulk converts every subsequent
+// append into an overwrite, so P shard workers can drive the device
+// concurrently instead of convoying on the inode. 8 MiB keeps each stall to
+// a few milliseconds while amortizing to one prewrite per thousands of
+// blocks; extents are recycled, so the total zeroed region is bounded by the
+// job's peak backing footprint.
+const prewriteChunk = 8 << 20
+
+// prewriteLocked zero-fills the backing file from s.zeroed up to end rounded
+// to the next prewriteChunk boundary. Called with amu held. Errors are
+// dropped deliberately: the extent remains valid either way — the data write
+// that follows will extend the file itself (slower, not wrong) and surface
+// any real device fault through the counted, retryable write path.
+func (s *fileStore) prewriteLocked(end int64) {
+	target := (end + prewriteChunk - 1) / prewriteChunk * prewriteChunk
+	if s.zbuf == nil {
+		s.zbuf = alignedBytes(prewriteChunk, s.direct)
+	}
+	for s.zeroed < target {
+		if _, err := s.fd.WriteAt(s.zbuf, s.zeroed); err != nil {
+			return
+		}
+		s.zeroed += prewriteChunk
+	}
+}
+
 // freeExtent returns an extent to the free list.
 func (s *fileStore) freeExtent(off int64, nbytes int) {
+	s.amu.Lock()
 	q := s.free[nbytes]
 	if q == nil {
 		q = &extentQueue{}
@@ -271,13 +331,23 @@ func (s *fileStore) freeExtent(off int64, nbytes int) {
 	}
 	q.push(off)
 	s.nfree++
+	s.amu.Unlock()
 	if sm := s.sm.Load(); sm != nil {
 		sm.extentFrees.Inc()
 	}
 }
 
-func (s *fileStore) backingBytes() int64 { return s.end }
-func (s *fileStore) freeExtents() int64  { return s.nfree }
+func (s *fileStore) backingBytes() int64 {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return s.end
+}
+
+func (s *fileStore) freeExtents() int64 {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return s.nfree
+}
 
 func (s *fileStore) setMetrics(m *IOMetrics) {
 	if m == nil {
@@ -328,7 +398,14 @@ func (s *fileStore) readAhead(f *File, i int, buf []Elem, ahead int) (int, error
 // readAtPhys issues one positioned read under the disk's fault injector and
 // retry policy; with neither armed it is a bare ReadAt.
 func (s *fileStore) readAtPhys(fname string, raw []byte, off int64) error {
-	d := s.disk
+	return s.readAtPhysOn(s.disk, fname, raw, off)
+}
+
+// readAtPhysOn is readAtPhys with fault injection and retry resolved through
+// an explicit acting disk: shard sub-disks share this store but carry their
+// own injectors, so a fault schedule armed on shard k fires only on shard
+// k's transfers.
+func (s *fileStore) readAtPhysOn(d *Disk, fname string, raw []byte, off int64) error {
 	if d == nil || (d.Injector() == nil && d.retry == nil) {
 		_, err := s.fd.ReadAt(raw, off)
 		return err
@@ -341,7 +418,11 @@ func (s *fileStore) readAtPhys(fname string, raw []byte, off int64) error {
 
 // writeAtPhys is readAtPhys for positioned writes.
 func (s *fileStore) writeAtPhys(fname string, raw []byte, off int64) error {
-	d := s.disk
+	return s.writeAtPhysOn(s.disk, fname, raw, off)
+}
+
+// writeAtPhysOn is writeAtPhys on an explicit acting disk.
+func (s *fileStore) writeAtPhysOn(d *Disk, fname string, raw []byte, off int64) error {
 	if d == nil || (d.Injector() == nil && d.retry == nil) {
 		_, err := s.fd.WriteAt(raw, off)
 		return err
@@ -388,6 +469,11 @@ func (s *fileStore) append(f *File, payload []Elem) error {
 // at enqueue time), then issuing the transfer under the disk's injector and
 // retry policy.
 func (s *fileStore) physWrite(fname string, raw []byte, off int64) error {
+	return s.physWriteOn(s.disk, fname, raw, off)
+}
+
+// physWriteOn is physWrite on an explicit acting disk (see readAtPhysOn).
+func (s *fileStore) physWriteOn(d *Disk, fname string, raw []byte, off int64) error {
 	if s.async != nil && s.async.testWriteErr != nil {
 		if err := s.async.testWriteErr(off); err != nil {
 			return err
@@ -399,7 +485,7 @@ func (s *fileStore) physWrite(fname string, raw []byte, off int64) error {
 	if sm != nil {
 		t0 = time.Now()
 	}
-	err := s.writeAtPhys(fname, raw, off)
+	err := s.writeAtPhysOn(d, fname, raw, off)
 	if sm != nil {
 		sm.physWrites.Inc()
 		sm.physWriteNS.ObserveEx(int64(time.Since(t0)), sm.seq.Load())

@@ -1,0 +1,70 @@
+package empar
+
+import (
+	"repro/internal/approxsplit"
+	"repro/internal/core"
+	"repro/internal/emio"
+	"repro/internal/mpart"
+)
+
+// The sorting-based operations below all reduce to Sort: a fully sorted
+// file is simultaneously a valid multiway partition for any size vector and
+// the exact-rank answer to the splitter problem. That is how the engine
+// parallelizes mpart/approxsplit-shaped work without re-deriving their
+// recursions — the outputs remain valid for the same verifiers, and are
+// bit-identical across worker counts because Sort is.
+
+// MultiPartition returns a new file holding in's elements arranged so the
+// first sizes[0] are the smallest, the next sizes[1] the next smallest, and
+// so on. Parallel counterpart of mpart.Partition; the input is unchanged.
+func (e *Engine) MultiPartition(in *emio.File, sizes []int64) (*emio.File, error) {
+	sp := e.ctx.StartSpan("empar/multi-partition",
+		emio.AttrInt("n", in.Len()), emio.AttrInt("parts", int64(len(sizes))))
+	defer sp.End()
+	if err := mpart.SizesValid(in.Len(), sizes); err != nil {
+		return nil, err
+	}
+	return e.Sort(in)
+}
+
+// Splitters returns a file of p.K-1 splitters partitioning in into buckets
+// of exactly n/K elements — exact ranks, which satisfy any approximation
+// slack (A, B). Parallel counterpart of core.Splitters; the input is
+// unchanged.
+func (e *Engine) Splitters(in *emio.File, p core.Params) (*emio.File, error) {
+	sp := e.ctx.StartSpan("empar/splitters",
+		emio.AttrInt("n", in.Len()), emio.AttrInt("k", p.K))
+	defer sp.End()
+	if err := p.Validate(in.Len()); err != nil {
+		return nil, err
+	}
+	sorted, err := e.Sort(in)
+	if err != nil {
+		return nil, err
+	}
+	out, err := approxsplit.FromSorted(e.ctx, sorted, p.K)
+	sorted.Release()
+	return out, err
+}
+
+// Partition returns in's elements arranged into p.K buckets of exactly n/K
+// elements each in bucket order, with the size vector. Parallel counterpart
+// of core.Partition; the input is unchanged.
+func (e *Engine) Partition(in *emio.File, p core.Params) (*core.PartitionResult, error) {
+	sp := e.ctx.StartSpan("empar/partition",
+		emio.AttrInt("n", in.Len()), emio.AttrInt("k", p.K))
+	defer sp.End()
+	if err := p.Validate(in.Len()); err != nil {
+		return nil, err
+	}
+	sorted, err := e.Sort(in)
+	if err != nil {
+		return nil, err
+	}
+	per := in.Len() / p.K
+	sizes := make([]int64, p.K)
+	for i := range sizes {
+		sizes[i] = per
+	}
+	return &core.PartitionResult{Data: sorted, Sizes: sizes}, nil
+}

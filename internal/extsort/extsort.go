@@ -37,7 +37,18 @@ func Sort(ctx *emio.Ctx, in *emio.File) (*emio.File, error) {
 // FormRuns splits in into sorted runs of up to (M/B - 1)*B elements each,
 // costing one full read scan plus one full write scan. The returned files are
 // owned by the caller (MergeAll consumes and releases them).
-func FormRuns(ctx *emio.Ctx, in *emio.File) (runs []*emio.File, err error) {
+func FormRuns(ctx *emio.Ctx, in *emio.File) ([]*emio.File, error) {
+	return FormRunsObserved(ctx, in, nil)
+}
+
+// FormRunsObserved is FormRuns with a hook: when observe is non-nil it is
+// called with each sorted chunk just before the chunk is written out, at no
+// extra I/O. The parallel engine uses it to count, per run, how many
+// elements fall below each range splitter (one binary search per splitter on
+// the already-sorted chunk), which is what lets the later range merges read
+// exact sub-ranges of each run. The callback must not retain or mutate the
+// slice.
+func FormRunsObserved(ctx *emio.Ctx, in *emio.File, observe func(sorted []emio.Elem)) (runs []*emio.File, err error) {
 	sp := ctx.StartSpan("extsort/form-runs", emio.AttrInt("n", in.Len()))
 	defer func() {
 		sp.SetAttr("runs", int64(len(runs)))
@@ -74,6 +85,9 @@ func FormRuns(ctx *emio.Ctx, in *emio.File) (runs []*emio.File, err error) {
 		}
 		chunk := buf[:fill]
 		inmem.Sort(chunk)
+		if observe != nil {
+			observe(chunk)
+		}
 		run := ctx.Scratch("run")
 		w, err := emio.NewWriter(ctx, run)
 		if err != nil {

@@ -37,15 +37,8 @@ func Partition(ctx *emio.Ctx, f *emio.File, sizes []int64) (*emio.File, error) {
 	sp := ctx.StartSpan("mpart/partition",
 		emio.AttrInt("n", f.Len()), emio.AttrInt("k", int64(len(sizes))))
 	defer sp.End()
-	var sum int64
-	for i, s := range sizes {
-		if s < 0 {
-			return nil, fmt.Errorf("mpart: negative size σ_%d = %d", i+1, s)
-		}
-		sum += s
-	}
-	if sum != f.Len() {
-		return nil, fmt.Errorf("mpart: sizes sum to %d, file holds %d", sum, f.Len())
+	if err := SizesValid(f.Len(), sizes); err != nil {
+		return nil, err
 	}
 	bnd, err := boundaryFile(ctx, sizes)
 	if err != nil {
@@ -71,6 +64,23 @@ func Partition(ctx *emio.Ctx, f *emio.File, sizes []int64) (*emio.File, error) {
 		return nil, fmt.Errorf("mpart: emitted %d of %d elements", out.Len(), f.Len())
 	}
 	return out, nil
+}
+
+// SizesValid checks a multi-partition size prescription against an input of
+// n elements: every σ_i must be nonnegative and they must sum to n. Shared
+// by Partition and the parallel engine's sort-based multi-partition path.
+func SizesValid(n int64, sizes []int64) error {
+	var sum int64
+	for i, s := range sizes {
+		if s < 0 {
+			return fmt.Errorf("mpart: negative size σ_%d = %d", i+1, s)
+		}
+		sum += s
+	}
+	if sum != n {
+		return fmt.Errorf("mpart: sizes sum to %d, file holds %d", sum, n)
+	}
+	return nil
 }
 
 // PartitionAtRanks is Partition with cut positions instead of sizes: ranks
