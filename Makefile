@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race parity check fault bench bench-compare bench-pr5 bench-pr6 bench-pr7 microbench table1 examples clean
+.PHONY: all build vet lint test test-short race parity check fault bench bench-compare bench-pr5 bench-pr6 bench-pr7 bench-pr8 microbench table1 examples clean
 
 all: build lint test
 
@@ -79,6 +79,14 @@ bench-pr6:
 # BENCH_pr7.json.
 bench-pr7:
 	$(GO) run ./cmd/embench -suite pr7 > BENCH_pr7.json
+
+# Regenerate the io_uring backend A/B document: sort/partition/splitters over
+# the same deepened async pipeline, positioned syscalls vs batched io_uring
+# submission, with logical-I/O parity and output digests per row plus SQE
+# batch-size and queue-depth histograms. On hosts without io_uring the suite
+# emits the host record and no rows. JSON goes to BENCH_pr8.json.
+bench-pr8:
+	$(GO) run ./cmd/embench -suite pr8 > BENCH_pr8.json
 
 microbench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

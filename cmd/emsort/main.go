@@ -27,6 +27,7 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"time"
@@ -45,6 +46,7 @@ var (
 	flagIn      = flag.String("in", "", "input file of integers (default stdin)")
 	flagOut     = flag.String("out", "", "output file (default stdout)")
 	flagBacking = flag.String("backing", "", "path for a real backing file for the simulated disk (default: in-memory)")
+	flagUring   = flag.Bool("uring", false, "submit physical I/O through a batched io_uring with the async pipeline (needs -backing; degrades silently to positioned syscalls where unsupported)")
 	flagTrace   = flag.Bool("trace", false, "print a phase trace (span tree with I/O attribution) to the report stream")
 	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
 	flagProg    = flag.Duration("progress", 0, "print a progress/ETA line to the report stream at this interval (0 = off)")
@@ -59,6 +61,7 @@ var (
 type runOpts struct {
 	cfg         empart.Config
 	backing     string
+	uring       bool
 	trace       bool
 	metricsAddr string
 	progress    time.Duration
@@ -104,6 +107,7 @@ func main() {
 			Retry:    empart.Retry{MaxAttempts: *flagRetry},
 			Log:      empart.LogConfig{Level: slog.LevelDebug, Path: *flagLog},
 		},
+		uring:       *flagUring,
 		backing:     *flagBacking,
 		trace:       *flagTrace,
 		metricsAddr: *flagMetrics,
@@ -225,6 +229,10 @@ func run(o runOpts, in io.Reader, dst, report io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if o.uring {
+		o.cfg.Pipeline.Enabled = true
+		o.cfg.Pipeline.Uring = true
+	}
 	var sys *empart.System
 	if o.backing != "" {
 		sys, err = empart.NewFileBacked(o.cfg, o.backing)
@@ -235,6 +243,22 @@ func run(o runOpts, in io.Reader, dst, report io.Writer) error {
 		return err
 	}
 	defer sys.Close()
+	// The startup line records which physical backends the host could
+	// exercise and which one this run actually uses, so a saved report is
+	// self-describing (the bench JSONs carry the same host fields).
+	probeDir := os.TempDir()
+	if o.backing != "" {
+		probeDir = filepath.Dir(o.backing)
+	}
+	backend := "memory"
+	switch {
+	case o.backing != "" && sys.UringActive():
+		backend = "file+uring"
+	case o.backing != "":
+		backend = "file"
+	}
+	fmt.Fprintf(report, "emsort: host directIO=%v uring=%v  backend=%s\n",
+		empart.DirectIOSupported(probeDir), empart.UringSupported(), backend)
 	f := sys.Stage(elems)
 	sys.ResetStats()
 	if o.trace {

@@ -21,6 +21,7 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -40,6 +41,8 @@ var (
 	flagK       = flag.Int64("k", 64, "partition/splitter/rank count K")
 	flagA       = flag.Int64("a", 0, "lower size bound a")
 	flagBMax    = flag.Int64("bmax", 0, "upper size bound b (0 means N)")
+	flagBacking = flag.String("backing", "", "path for a real backing file for the simulated disk (default: in-memory)")
+	flagUring   = flag.Bool("uring", false, "submit physical I/O through a batched io_uring with the async pipeline (needs -backing; degrades silently to positioned syscalls where unsupported)")
 	flagDist    = flag.String("dist", "uniform", "input distribution")
 	flagSeed    = flag.Uint64("seed", 1, "workload seed")
 	flagLo      = flag.Float64("lo", 0, "histogram: relative slack below N/K")
@@ -60,6 +63,8 @@ type options struct {
 	n        int
 	m, b     int
 	workers  int
+	backing  string
+	uring    bool
 	k, a     int64
 	bmax     int64
 	dist     string
@@ -89,6 +94,7 @@ func main() {
 	}
 	report, err := execute(options{
 		algo: *flagAlgo, n: *flagN, m: *flagM, b: *flagB, workers: *flagWorkers,
+		backing: *flagBacking, uring: *flagUring,
 		k: *flagK, a: *flagA, bmax: *flagBMax,
 		dist: *flagDist, seed: *flagSeed, lo: *flagLo, hi: *flagHi,
 		trace: *flagTrace, checksum: *flagSum, retry: *flagRetry,
@@ -126,13 +132,39 @@ func execute(o options) (string, error) {
 		Retry:    empart.Retry{MaxAttempts: o.retry},
 		Log:      empart.LogConfig{Level: slog.LevelDebug, Path: o.logPath},
 	}
-	sys, err := empart.New(cfg)
+	if o.uring {
+		cfg.Pipeline.Enabled = true
+		cfg.Pipeline.Uring = true
+	}
+	var sys *empart.System
+	var err error
+	if o.backing != "" {
+		sys, err = empart.NewFileBacked(cfg, o.backing)
+	} else {
+		sys, err = empart.New(cfg)
+	}
 	if err != nil {
 		return "", err
 	}
 	// Close flushes the buffered event-log file sink; without it a -log run
 	// of the in-memory backend would leave an empty JSONL file.
 	defer sys.Close()
+	// The host line records which physical backends this machine could
+	// exercise and which one the run actually uses, so a saved report is
+	// self-describing (the bench JSONs carry the same host fields).
+	probeDir := os.TempDir()
+	if o.backing != "" {
+		probeDir = filepath.Dir(o.backing)
+	}
+	backend := "memory"
+	switch {
+	case o.backing != "" && sys.UringActive():
+		backend = "file+uring"
+	case o.backing != "":
+		backend = "file"
+	}
+	fmt.Fprintf(&sb, "host: directIO=%v uring=%v  backend=%s\n",
+		empart.DirectIOSupported(probeDir), empart.UringSupported(), backend)
 	kind, err := workload.KindByName(o.dist)
 	if err != nil {
 		return "", err

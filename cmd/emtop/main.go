@@ -22,6 +22,31 @@ import (
 	"repro/internal/emio/metrics"
 )
 
+// scrape fetches url and parses the Prometheus exposition into a snapshot.
+func scrape(url string) (metrics.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return metrics.Snapshot{}, fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	return metrics.ParsePrometheus(resp.Body)
+}
+
+// runOnce drives one -once invocation end to end — scrape, parse, render a
+// single frame to out — and is the seam the smoke tests exercise.
+func runOnce(url string, width int, out io.Writer) error {
+	snap, err := scrape(url)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, metrics.RenderDashboard(snap, width))
+	return nil
+}
+
 func main() {
 	var (
 		url      = flag.String("url", "http://127.0.0.1:9100/metrics", "metrics endpoint to scrape")
@@ -31,30 +56,17 @@ func main() {
 	)
 	flag.Parse()
 
-	scrape := func() (metrics.Snapshot, error) {
-		resp, err := http.Get(*url)
-		if err != nil {
-			return metrics.Snapshot{}, err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			io.Copy(io.Discard, resp.Body)
-			return metrics.Snapshot{}, fmt.Errorf("scrape %s: %s", *url, resp.Status)
-		}
-		return metrics.ParsePrometheus(resp.Body)
-	}
-
 	if *once {
-		snap, err := scrape()
-		if err != nil {
+		if err := runOnce(*url, *width, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "emtop: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Print(metrics.RenderDashboard(snap, *width))
 		return
 	}
 
-	d := metrics.StartDash(os.Stdout, *interval, *width, scrape)
+	d := metrics.StartDash(os.Stdout, *interval, *width, func() (metrics.Snapshot, error) {
+		return scrape(*url)
+	})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

@@ -23,13 +23,32 @@ func faultMatrixModes() []struct {
 	name string
 	pipe Pipeline
 } {
-	return []struct {
+	modes := []struct {
 		name string
 		pipe Pipeline
 	}{
 		{"sync", Pipeline{}},
 		{"pipeline", Pipeline{Enabled: true, PrefetchDepth: 4, QueueDepth: 4}},
 	}
+	if emio.UringSupported() {
+		// With an injector or retry policy armed the ring falls back to one
+		// submission per runPhys attempt, so scripted per-kind fault schedules
+		// keep their deterministic ordering; these rows prove the ring
+		// composes with the whole resilience layer (and that the completion
+		// reaper shuts down leak-free after induced failures, via the
+		// RequireNoGoroutineLeaks checks the matrix tests already carry).
+		modes = append(modes,
+			struct {
+				name string
+				pipe Pipeline
+			}{"uring", Pipeline{Uring: true}},
+			struct {
+				name string
+				pipe Pipeline
+			}{"uring-pipeline", Pipeline{Enabled: true, Uring: true, PrefetchDepth: 4, QueueDepth: 4}},
+		)
+	}
+	return modes
 }
 
 // transientSchedule arms inj with the matrix's fail-once fault points. Op

@@ -200,10 +200,16 @@ type fileStore struct {
 	nfree  int64                // number of extents on the free list
 	zeroed int64                // bytes of backing file physically zero-filled (direct mode)
 	zbuf   []byte               // aligned zero buffer for prewriting, amu-guarded
-	physR atomic.Int64         // positioned reads issued (incl. prefetch goroutines)
-	physW atomic.Int64         // positioned writes issued (incl. the write worker)
-	pipe  Pipeline             // normalized pipeline configuration
-	async *asyncState          // write-behind + prefetch machinery, nil when disabled
+	physR  atomic.Int64         // positioned reads issued (incl. prefetch goroutines)
+	physW  atomic.Int64         // positioned writes issued (incl. the write worker)
+	pipe   Pipeline             // normalized pipeline configuration
+	async  *asyncState          // write-behind + prefetch machinery, nil when disabled
+	// ring is the io_uring physical backend, nil when Pipeline.Uring is off or
+	// unsupported; raw transfers then fall back to pread/pwrite syscalls. The
+	// ring sits strictly below the resilience layer: runPhys wraps ring
+	// completions exactly as it wraps syscall returns.
+	ring    *uring
+	regBufs [][]byte // pooled buffers registered with the ring as fixed buffers
 	// sm holds the physical-layer telemetry handles, nil when metrics are
 	// disabled. An atomic pointer because the write worker and prefetch
 	// goroutines read it while EnableMetrics may store it from the algorithm
@@ -230,14 +236,32 @@ func newFileStore(path string, blockSize int, pipe Pipeline) (*fileStore, error)
 		direct: direct,
 		free:   make(map[int]*extentQueue),
 	}
+	if norm := pipe.withDefaults(); norm.Uring && UringSupported() {
+		// Ring creation failure degrades silently to the syscall paths,
+		// mirroring how Pipeline.Direct degrades without O_DIRECT support.
+		if r, err := newUring(fd, norm.UringDepth, norm.SQPoll); err == nil {
+			s.ring = r
+			r.sm = &s.sm
+		}
+	}
 	s.scratch = alignedBytes(s.pad(blockSize*elemBytes), direct)
+	if s.ring != nil {
+		s.regBufs = append(s.regBufs, s.scratch)
+	}
 	if pipe.Enabled {
 		s.pipe = pipe.withDefaults()
 		s.bulk = true
 		s.startAsync()
 	}
+	if s.ring != nil {
+		s.ring.registerBuffers(s.regBufs)
+	}
 	return s, nil
 }
+
+// uringActive reports whether physical transfers go through an io_uring
+// (Disk.UringActive's store capability).
+func (s *fileStore) uringActive() bool { return s.ring != nil }
 
 // extentQueue is a FIFO of released extents of one byte length. Release
 // order matters: a released file frees an ascending contiguous run of
@@ -401,18 +425,36 @@ func (s *fileStore) readAtPhys(fname string, raw []byte, off int64) error {
 	return s.readAtPhysOn(s.disk, fname, raw, off)
 }
 
+// preadRaw issues one raw positioned read over the active physical backend:
+// the io_uring ring when armed, a plain pread syscall otherwise. Both paths
+// have whole-buffer semantics.
+func (s *fileStore) preadRaw(raw []byte, off int64) error {
+	if r := s.ring; r != nil {
+		return r.pread(raw, off)
+	}
+	_, err := s.fd.ReadAt(raw, off)
+	return err
+}
+
+// pwriteRaw is preadRaw for positioned writes.
+func (s *fileStore) pwriteRaw(raw []byte, off int64) error {
+	if r := s.ring; r != nil {
+		return r.pwrite(raw, off)
+	}
+	_, err := s.fd.WriteAt(raw, off)
+	return err
+}
+
 // readAtPhysOn is readAtPhys with fault injection and retry resolved through
 // an explicit acting disk: shard sub-disks share this store but carry their
 // own injectors, so a fault schedule armed on shard k fires only on shard
 // k's transfers.
 func (s *fileStore) readAtPhysOn(d *Disk, fname string, raw []byte, off int64) error {
 	if d == nil || (d.Injector() == nil && d.retry == nil) {
-		_, err := s.fd.ReadAt(raw, off)
-		return err
+		return s.preadRaw(raw, off)
 	}
 	return d.runPhys(opRead, fname, off, func() error {
-		_, err := s.fd.ReadAt(raw, off)
-		return err
+		return s.preadRaw(raw, off)
 	})
 }
 
@@ -424,12 +466,10 @@ func (s *fileStore) writeAtPhys(fname string, raw []byte, off int64) error {
 // writeAtPhysOn is writeAtPhys on an explicit acting disk.
 func (s *fileStore) writeAtPhysOn(d *Disk, fname string, raw []byte, off int64) error {
 	if d == nil || (d.Injector() == nil && d.retry == nil) {
-		_, err := s.fd.WriteAt(raw, off)
-		return err
+		return s.pwriteRaw(raw, off)
 	}
 	return d.runPhys(opWrite, fname, off, func() error {
-		_, err := s.fd.WriteAt(raw, off)
-		return err
+		return s.pwriteRaw(raw, off)
 	})
 }
 
@@ -545,6 +585,13 @@ func (s *fileStore) close() error {
 	var err error
 	if s.async != nil {
 		err = s.stopAsync()
+	}
+	if s.ring != nil {
+		// After stopAsync no transfer is in flight; closing the ring joins the
+		// completion reaper before the backing fd goes away.
+		if rerr := s.ring.close(); err == nil {
+			err = rerr
+		}
 	}
 	if cerr := s.fd.Close(); err == nil {
 		err = cerr

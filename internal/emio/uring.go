@@ -1,0 +1,23 @@
+package emio
+
+// Platform-independent declarations of the io_uring physical backend. The
+// ring itself (type uring) is built per platform: uring_linux.go carries the
+// real submission/completion machinery over raw syscalls, uring_other.go a
+// stub that is never constructed because UringSupported reports false there.
+//
+// The backend swaps only how raw positioned transfers reach the device —
+// pread/pwrite syscalls versus SQE submission and CQE completion on a shared
+// ring — and sits strictly below the EM model: logical I/O accounting, fault
+// hooks, checksums, retry and tracing all run at enqueue time on the
+// algorithm goroutine exactly as they do for the syscall paths, so outputs,
+// Stats and trace JSON are bit-identical across {buffered, direct, uring}.
+
+// uringReq is one positioned transfer prepped for batched submission: the
+// caller owns slot (acquired from the ring) and collects the raw CQE result
+// with wait(slot) after submit.
+type uringReq struct {
+	op   ioOp
+	buf  []byte
+	off  int64
+	slot uint32
+}

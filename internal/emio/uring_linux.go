@@ -1,0 +1,765 @@
+//go:build linux && (amd64 || arm64 || riscv64)
+
+package emio
+
+// A pure-Go io_uring backend over raw syscalls: io_uring_setup creates the
+// ring, the SQ/CQ rings and SQE array are mmap'd into the process, and
+// io_uring_enter submits and waits. No cgo and no external packages; the
+// build tag names exactly the Linux ports where syscall numbers 425–427 are
+// those of io_uring_setup/enter/register.
+//
+// Concurrency model: many goroutines submit (the algorithm goroutine, the
+// write-behind worker, shard workers), and whichever goroutine is blocked on
+// the ring drives the completion queue itself. Submitters take a slot from a
+// bounded free list — the slot index is the SQE's user_data — prep their
+// SQEs under a mutex and flush them with a single enter. A single drive
+// token (a one-slot channel) is the license to consume the CQ: a goroutine
+// that needs a completion, a free slot, or a prefetch window either parks on
+// its own wakeup channel or wins the token, drains every available CQE —
+// dispatching each to its slot's channel (synchronous waiters) or callback
+// (prefetch completions) — and blocks in enter(GETEVENTS) for the next one.
+// There is no standing reaper goroutine: the first design had one, and the
+// two thread wakeups it added per I/O cost ~100x the blocking syscall it
+// replaced on fast devices. With the waiter driving, a synchronous transfer
+// is two thin syscalls and zero scheduler round-trips, and batched
+// submissions amortize even the first. The free list doubles as
+// backpressure: in-flight submissions never exceed the SQ size, so the CQ
+// (twice the SQ by default) cannot overflow. The store closes the ring only
+// after the pipeline has drained; close still drives the CQ until every
+// slot has retired, so late prefetch completions land before the mappings
+// are released.
+//
+// Registered resources: the backing file is registered once (fixed-file index
+// 0) and the store's pooled transfer buffers — batch, staging and scratch —
+// are registered as fixed buffers, so the common case submits
+// READ_FIXED/WRITE_FIXED opcodes that skip per-I/O pinning. Registration
+// failures (e.g. RLIMIT_MEMLOCK) degrade to the plain READ/WRITE opcodes.
+// SQPOLL is optional: the kernel poller consumes SQEs without any enter
+// syscall, woken with IORING_ENTER_SQ_WAKEUP when it has gone idle; setups
+// where SQPOLL is unavailable fall back to a normal ring.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// Raw io_uring ABI. Syscall numbers are identical on amd64, arm64 and
+// riscv64 (the build tag admits exactly those).
+const (
+	sysIOUringSetup    = 425
+	sysIOUringEnter    = 426
+	sysIOUringRegister = 427
+
+	uringOffSQRing = 0
+	uringOffCQRing = 0x8000000
+	uringOffSQEs   = 0x10000000
+
+	uringEnterGetEvents = 1 << 0
+	uringEnterSQWakeup  = 1 << 1
+
+	uringSetupSQPoll    = 1 << 1
+	uringFeatSingleMmap = 1 << 0
+
+	uringOpNop        = 0
+	uringOpReadFixed  = 4
+	uringOpWriteFixed = 5
+	uringOpRead       = 22
+	uringOpWrite      = 23
+
+	uringRegisterBuffers = 0
+	uringRegisterFiles   = 2
+
+	uringSQEFixedFile = 1 << 0
+	uringSQNeedWakeup = 1 << 0
+)
+
+// uringParams is struct io_uring_params (120 bytes).
+type uringParams struct {
+	sqEntries    uint32
+	cqEntries    uint32
+	flags        uint32
+	sqThreadCPU  uint32
+	sqThreadIdle uint32
+	features     uint32
+	wqFD         uint32
+	resv         [3]uint32
+	sqOff        uringSQOffsets
+	cqOff        uringCQOffsets
+}
+
+// uringSQOffsets is struct io_sqring_offsets.
+type uringSQOffsets struct {
+	head, tail, ringMask, ringEntries, flags, dropped, array, resv1 uint32
+	userAddr                                                        uint64
+}
+
+// uringCQOffsets is struct io_cqring_offsets.
+type uringCQOffsets struct {
+	head, tail, ringMask, ringEntries, overflow, cqes, flags, resv1 uint32
+	userAddr                                                        uint64
+}
+
+// uringSQE is struct io_uring_sqe (64 bytes).
+type uringSQE struct {
+	opcode      uint8
+	flags       uint8
+	ioprio      uint16
+	fd          int32
+	off         uint64
+	addr        uint64
+	len         uint32
+	rwFlags     uint32
+	userData    uint64
+	bufIndex    uint16
+	personality uint16
+	spliceFDIn  int32
+	pad         [2]uint64
+}
+
+// uringCQE is struct io_uring_cqe (16 bytes).
+type uringCQE struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// uringSlot tracks one in-flight submission. ch carries the raw CQE result
+// to a synchronous waiter; when cb is non-nil whoever drains the CQE calls it
+// instead and recycles the slot. cb is set and cleared under uring.mu.
+type uringSlot struct {
+	ch chan int32
+	cb func(res int32)
+}
+
+// uring is one io_uring instance bound to one backing file.
+type uring struct {
+	ringFD    int
+	sqEntries uint32
+	sqpoll    bool
+
+	sqMem, cqMem, sqeMem []byte
+	singleMmap           bool
+
+	sqHead, sqTail, sqFlags *uint32
+	sqMask                  uint32
+	sqArray                 []uint32
+	sqes                    []uringSQE
+
+	cqHead, cqTail *uint32
+	cqMask         uint32
+	cqes           []uringCQE
+
+	regFile   bool  // backing file registered at fixed-file index 0
+	fileFD    int32 // raw backing fd, used when !regFile
+	fixedBufs [][]byte
+
+	mu          sync.Mutex // serializes SQE prep + flush
+	unsubmitted uint32     // prepped SQEs the kernel has not consumed (non-SQPOLL)
+
+	slots     []uringSlot
+	freeSlots chan uint32
+	// retired counts slots permanently withdrawn after submission errors (a
+	// late completion could race their reuse); close() accounts for them.
+	retired atomic.Uint32
+
+	// drive is the CQ-ownership token: holding it licenses drain/enter on
+	// the completion side. dead is closed when the ring fails hard; every
+	// waiter selects on it so nothing hangs on a broken ring.
+	drive    chan struct{}
+	dead     chan struct{}
+	closed   bool
+	closeErr error
+
+	// sm aliases the owning store's metrics pointer so submissions can record
+	// batch-size and in-flight histograms when telemetry is attached.
+	sm *atomic.Pointer[storeMetrics]
+}
+
+// newUring builds a ring of the given depth over f. SQPOLL is attempted when
+// asked for and degrades — first to a non-SQPOLL ring when setup refuses it,
+// entirely to nil,err when even that fails (the store then falls back to the
+// syscall paths).
+func newUring(f *os.File, depth int, sqpoll bool) (*uring, error) {
+	if depth < 1 {
+		depth = DefaultUringDepth
+	}
+	u, err := setupRing(uint32(depth), sqpoll)
+	if err != nil && sqpoll {
+		u, err = setupRing(uint32(depth), false)
+	}
+	if err != nil {
+		return nil, err
+	}
+	u.fileFD = int32(f.Fd())
+	u.regFile = u.registerFileLocked(u.fileFD)
+	if u.sqpoll && !u.regFile {
+		// SQPOLL can only touch registered files; without the registration the
+		// poller would fail every SQE, so trade the poller away instead.
+		u.destroy()
+		if u, err = setupRing(uint32(depth), false); err != nil {
+			return nil, err
+		}
+		u.fileFD = int32(f.Fd())
+		u.regFile = u.registerFileLocked(u.fileFD)
+	}
+	return u, nil
+}
+
+// setupRing performs io_uring_setup, maps the three ring regions and builds
+// the slot table. The kernel rounds entries up to a power of two; all sizes
+// below use what it reports back.
+func setupRing(entries uint32, sqpoll bool) (*uring, error) {
+	var p uringParams
+	if sqpoll {
+		p.flags = uringSetupSQPoll
+		p.sqThreadIdle = 1000 // ms before the poller sleeps and asks for a wakeup
+	}
+	fd, _, errno := syscall.Syscall(sysIOUringSetup, uintptr(entries), uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil, fmt.Errorf("emio: io_uring_setup: %w", errno)
+	}
+	u := &uring{ringFD: int(fd), sqEntries: p.sqEntries, sqpoll: sqpoll}
+	if err := u.mmapRings(&p); err != nil {
+		syscall.Close(u.ringFD)
+		return nil, err
+	}
+	for i := range u.sqArray {
+		// Identity map: SQE i lives at array slot i; only the tail moves.
+		u.sqArray[i] = uint32(i)
+	}
+	u.slots = make([]uringSlot, p.sqEntries)
+	u.freeSlots = make(chan uint32, p.sqEntries)
+	for i := uint32(0); i < p.sqEntries; i++ {
+		u.slots[i].ch = make(chan int32, 1)
+		u.freeSlots <- i
+	}
+	u.drive = make(chan struct{}, 1)
+	u.drive <- struct{}{}
+	u.dead = make(chan struct{})
+	return u, nil
+}
+
+// mmapRings maps the SQ ring, CQ ring and SQE array and resolves the cursor
+// pointers from the kernel-reported offsets. Modern kernels serve SQ and CQ
+// from a single mapping (IORING_FEAT_SINGLE_MMAP).
+func (u *uring) mmapRings(p *uringParams) error {
+	sqSize := int(p.sqOff.array) + int(p.sqEntries)*4
+	cqSize := int(p.cqOff.cqes) + int(p.cqEntries)*int(unsafe.Sizeof(uringCQE{}))
+	u.singleMmap = p.features&uringFeatSingleMmap != 0
+	if u.singleMmap && cqSize > sqSize {
+		sqSize = cqSize
+	}
+	prot, flags := syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE
+	sqMem, err := syscall.Mmap(u.ringFD, uringOffSQRing, sqSize, prot, flags)
+	if err != nil {
+		return fmt.Errorf("emio: mmap sq ring: %w", err)
+	}
+	u.sqMem = sqMem
+	if u.singleMmap {
+		u.cqMem = sqMem
+	} else {
+		cqMem, err := syscall.Mmap(u.ringFD, uringOffCQRing, cqSize, prot, flags)
+		if err != nil {
+			u.munmapAll()
+			return fmt.Errorf("emio: mmap cq ring: %w", err)
+		}
+		u.cqMem = cqMem
+	}
+	sqeMem, err := syscall.Mmap(u.ringFD, uringOffSQEs, int(p.sqEntries)*int(unsafe.Sizeof(uringSQE{})), prot, flags)
+	if err != nil {
+		u.munmapAll()
+		return fmt.Errorf("emio: mmap sqe array: %w", err)
+	}
+	u.sqeMem = sqeMem
+	at := func(mem []byte, off uint32) *uint32 { return (*uint32)(unsafe.Pointer(&mem[off])) }
+	u.sqHead = at(sqMem, p.sqOff.head)
+	u.sqTail = at(sqMem, p.sqOff.tail)
+	u.sqMask = *at(sqMem, p.sqOff.ringMask)
+	u.sqFlags = at(sqMem, p.sqOff.flags)
+	u.sqArray = unsafe.Slice((*uint32)(unsafe.Pointer(&sqMem[p.sqOff.array])), p.sqEntries)
+	u.cqHead = at(u.cqMem, p.cqOff.head)
+	u.cqTail = at(u.cqMem, p.cqOff.tail)
+	u.cqMask = *at(u.cqMem, p.cqOff.ringMask)
+	u.cqes = unsafe.Slice((*uringCQE)(unsafe.Pointer(&u.cqMem[p.cqOff.cqes])), p.cqEntries)
+	u.sqes = unsafe.Slice((*uringSQE)(unsafe.Pointer(&sqeMem[0])), p.sqEntries)
+	return nil
+}
+
+func (u *uring) munmapAll() {
+	if u.sqeMem != nil {
+		syscall.Munmap(u.sqeMem)
+		u.sqeMem = nil
+	}
+	if u.cqMem != nil && !u.singleMmap {
+		syscall.Munmap(u.cqMem)
+	}
+	u.cqMem = nil
+	if u.sqMem != nil {
+		syscall.Munmap(u.sqMem)
+		u.sqMem = nil
+	}
+}
+
+// destroy tears down a ring that never started its reaper (setup fallbacks).
+func (u *uring) destroy() {
+	u.munmapAll()
+	syscall.Close(u.ringFD)
+}
+
+// enter wraps io_uring_enter, retrying the transient errnos: EINTR (signal),
+// and EAGAIN/EBUSY (kernel out of internal resources / CQ pressure).
+func (u *uring) enter(toSubmit, minComplete, flags uint32) (uint32, error) {
+	for {
+		n, _, errno := syscall.Syscall6(sysIOUringEnter, uintptr(u.ringFD),
+			uintptr(toSubmit), uintptr(minComplete), uintptr(flags), 0, 0)
+		switch errno {
+		case 0:
+			return uint32(n), nil
+		case syscall.EINTR:
+		case syscall.EAGAIN, syscall.EBUSY:
+			runtime.Gosched()
+		default:
+			return 0, fmt.Errorf("emio: io_uring_enter: %w", errno)
+		}
+	}
+}
+
+// register wraps io_uring_register.
+func (u *uring) register(op uintptr, arg unsafe.Pointer, n uintptr) error {
+	if _, _, errno := syscall.Syscall6(sysIOUringRegister, uintptr(u.ringFD),
+		op, uintptr(arg), n, 0, 0); errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// registerFileLocked registers fd as fixed file 0; reports success.
+func (u *uring) registerFileLocked(fd int32) bool {
+	fds := [1]int32{fd}
+	return u.register(uringRegisterFiles, unsafe.Pointer(&fds[0]), 1) == nil
+}
+
+// registerBuffers pins bufs as fixed buffers so transfers inside them can use
+// the *_FIXED opcodes. Best effort: on failure (commonly RLIMIT_MEMLOCK) the
+// ring keeps working with the plain opcodes. The registered slices are
+// retained so their memory stays live for the ring's lifetime.
+func (u *uring) registerBuffers(bufs [][]byte) {
+	if len(bufs) == 0 {
+		return
+	}
+	iovs := make([]syscall.Iovec, len(bufs))
+	for i, b := range bufs {
+		iovs[i].Base = &b[0]
+		iovs[i].SetLen(len(b))
+	}
+	if u.register(uringRegisterBuffers, unsafe.Pointer(&iovs[0]), uintptr(len(iovs))) != nil {
+		return
+	}
+	u.fixedBufs = bufs
+}
+
+// fixedIndex reports the registered buffer wholly containing buf, if any.
+// The table holds at most a handful of pooled buffers, so a linear scan is
+// cheaper than any index.
+func (u *uring) fixedIndex(buf []byte) (uint16, bool) {
+	if len(u.fixedBufs) == 0 || len(buf) == 0 {
+		return 0, false
+	}
+	a := uintptr(unsafe.Pointer(&buf[0]))
+	for i, rb := range u.fixedBufs {
+		base := uintptr(unsafe.Pointer(&rb[0]))
+		if a >= base && a+uintptr(len(buf)) <= base+uintptr(len(rb)) {
+			return uint16(i), true
+		}
+	}
+	return 0, false
+}
+
+func (u *uring) storeMetrics() *storeMetrics {
+	if u.sm == nil {
+		return nil
+	}
+	return u.sm.Load()
+}
+
+// --- submission -----------------------------------------------------------
+
+// acquire takes a free slot, driving the completion queue if none is free
+// (a slot can only come back by retiring a completion, and there may be no
+// other goroutine around to do it). Fails only when the ring has died.
+func (u *uring) acquire() (uint32, bool) {
+	return await(u, u.freeSlots)
+}
+
+func (u *uring) release(slot uint32) { u.freeSlots <- slot }
+
+// wait blocks for slot's completion and returns the raw CQE result. The
+// waiter drives the CQ itself when it wins the drive token.
+func (u *uring) wait(slot uint32) int32 {
+	res, ok := await(u, u.slots[slot].ch)
+	if !ok {
+		return -int32(syscall.EIO)
+	}
+	return res
+}
+
+// waitDone blocks until done is closed. Callers use it to wait on prefetch
+// windows whose callback only runs when somebody drains the CQE — with no
+// standing reaper, that somebody must be the waiter itself. done MUST belong
+// to a ring-driven completion (or already be closed): the blocking
+// enter(GETEVENTS) inside relies on a CQE being in flight.
+func (u *uring) waitDone(done <-chan struct{}) {
+	await(u, done)
+}
+
+// await parks on ready until a value (or close) arrives, while competing for
+// the drive token; the winner drains the completion queue and blocks in
+// enter(GETEVENTS) for more, dispatching everyone's completions on the way.
+// Returns ok=false when the ring is dead.
+func await[T any](u *uring, ready <-chan T) (T, bool) {
+	var zero T
+	for {
+		select {
+		case v := <-ready:
+			return v, true
+		case <-u.dead:
+			return zero, false
+		case <-u.drive:
+			u.drain()
+			// Re-check before blocking in the kernel: the drain may have
+			// dispatched the very completion we are waiting on.
+			select {
+			case v := <-ready:
+				u.drive <- struct{}{}
+				return v, true
+			case <-u.dead:
+				u.drive <- struct{}{}
+				return zero, false
+			default:
+			}
+			_, err := u.enter(0, 1, uringEnterGetEvents)
+			if err == nil {
+				u.drain()
+			}
+			u.drive <- struct{}{}
+			if err != nil {
+				u.abort()
+			}
+		}
+	}
+}
+
+// prepLocked writes one SQE and advances the submission tail. Only under
+// SQPOLL can the queue be momentarily full (the poller drains it
+// asynchronously); the plain path bounds in-flight SQEs by the slot count.
+func (u *uring) prepLocked(op ioOp, buf []byte, off int64, userData uint64) {
+	tail := atomic.LoadUint32(u.sqTail)
+	for tail-atomic.LoadUint32(u.sqHead) >= u.sqEntries {
+		runtime.Gosched()
+	}
+	sqe := &u.sqes[tail&u.sqMask]
+	*sqe = uringSQE{userData: userData}
+	if op == opRead {
+		sqe.opcode = uringOpRead
+	} else {
+		sqe.opcode = uringOpWrite
+	}
+	if idx, ok := u.fixedIndex(buf); ok {
+		if op == opRead {
+			sqe.opcode = uringOpReadFixed
+		} else {
+			sqe.opcode = uringOpWriteFixed
+		}
+		sqe.bufIndex = idx
+	}
+	if u.regFile {
+		sqe.fd = 0
+		sqe.flags = uringSQEFixedFile
+	} else {
+		sqe.fd = u.fileFD
+	}
+	sqe.off = uint64(off)
+	if len(buf) > 0 {
+		sqe.addr = uint64(uintptr(unsafe.Pointer(&buf[0])))
+	}
+	sqe.len = uint32(len(buf))
+	atomic.StoreUint32(u.sqTail, tail+1)
+}
+
+// prepNopLocked queues a NOP (shutdown poison, probe round-trips).
+func (u *uring) prepNopLocked(userData uint64) {
+	tail := atomic.LoadUint32(u.sqTail)
+	for tail-atomic.LoadUint32(u.sqHead) >= u.sqEntries {
+		runtime.Gosched()
+	}
+	u.sqes[tail&u.sqMask] = uringSQE{opcode: uringOpNop, fd: -1, userData: userData}
+	atomic.StoreUint32(u.sqTail, tail+1)
+}
+
+// flushLocked hands n freshly prepped SQEs to the kernel: one io_uring_enter
+// for the whole batch — or none at all under SQPOLL, unless the poller went
+// idle and wants a wakeup.
+func (u *uring) flushLocked(n uint32) error {
+	if sm := u.storeMetrics(); sm != nil {
+		sm.uringSQEBatch.Observe(int64(n))
+		sm.uringInflight.Observe(int64(len(u.slots) - len(u.freeSlots)))
+	}
+	if u.sqpoll {
+		if atomic.LoadUint32(u.sqFlags)&uringSQNeedWakeup != 0 {
+			_, err := u.enter(0, 0, uringEnterSQWakeup)
+			return err
+		}
+		return nil
+	}
+	u.unsubmitted += n
+	for u.unsubmitted > 0 {
+		done, err := u.enter(u.unsubmitted, 0, 0)
+		if err != nil {
+			return err
+		}
+		u.unsubmitted -= done
+	}
+	return nil
+}
+
+// submit preps every request and flushes them with a single enter. Callers
+// own the reqs' slots and collect results with wait; on error they must
+// retire those slots (the SQEs may sit unconsumed in the ring). A flush
+// failure is an io_uring_enter hard error, so it also kills the ring —
+// better every waiter fails fast than some hang on completions that will
+// never be produced.
+func (u *uring) submit(reqs []uringReq) error {
+	u.mu.Lock()
+	select {
+	case <-u.dead:
+		u.mu.Unlock()
+		return syscall.EIO
+	default:
+	}
+	for _, r := range reqs {
+		u.prepLocked(r.op, r.buf, r.off, uint64(r.slot))
+	}
+	err := u.flushLocked(uint32(len(reqs)))
+	u.mu.Unlock()
+	if err != nil {
+		u.abort()
+	}
+	return err
+}
+
+// submitCallback preps one transfer whose completion is dispatched to cb
+// with the raw CQE result by whichever goroutine drains it; the slot is
+// recycled after cb returns. cb runs on an arbitrary driving goroutine and
+// must not block on ring completions. On error cb is guaranteed not to run,
+// so the caller can fall back synchronously.
+func (u *uring) submitCallback(op ioOp, buf []byte, off int64, cb func(res int32)) error {
+	slot, ok := u.acquire()
+	if !ok {
+		return syscall.EIO
+	}
+	u.mu.Lock()
+	select {
+	case <-u.dead:
+		u.mu.Unlock()
+		u.release(slot)
+		return syscall.EIO
+	default:
+	}
+	u.slots[slot].cb = cb
+	u.prepLocked(op, buf, off, uint64(slot))
+	err := u.flushLocked(1)
+	if err != nil {
+		u.slots[slot].cb = nil
+	}
+	u.mu.Unlock()
+	if err != nil {
+		u.retire()
+		u.abort()
+	}
+	return err
+}
+
+// rw runs one synchronous positioned transfer through the ring: submit one
+// SQE, wait for its CQE. Transient errnos and short transfers resubmit the
+// remainder, so callers see whole-buffer semantics like ReadAt/WriteAt.
+func (u *uring) rw(op ioOp, buf []byte, off int64) error {
+	for {
+		slot, ok := u.acquire()
+		if !ok {
+			return syscall.EIO
+		}
+		if err := u.submit([]uringReq{{op: op, buf: buf, off: off, slot: slot}}); err != nil {
+			u.retire()
+			return err
+		}
+		res := u.wait(slot)
+		u.release(slot)
+		if res >= 0 {
+			if int(res) == len(buf) {
+				return nil
+			}
+			if res == 0 {
+				if op == opRead {
+					return io.ErrUnexpectedEOF
+				}
+				return io.ErrShortWrite
+			}
+			buf, off = buf[res:], off+int64(res)
+			continue
+		}
+		if e := syscall.Errno(-res); e != syscall.EINTR && e != syscall.EAGAIN {
+			return e
+		}
+	}
+}
+
+func (u *uring) pread(buf []byte, off int64) error  { return u.rw(opRead, buf, off) }
+func (u *uring) pwrite(buf []byte, off int64) error { return u.rw(opWrite, buf, off) }
+
+// finishRW resolves the raw CQE result of a batched submission, resubmitting
+// transient failures and short-transfer remainders synchronously.
+func (u *uring) finishRW(op ioOp, res int32, buf []byte, off int64) error {
+	if res >= 0 {
+		if int(res) == len(buf) {
+			return nil
+		}
+		if res == 0 {
+			if op == opRead {
+				return io.ErrUnexpectedEOF
+			}
+			return io.ErrShortWrite
+		}
+		buf, off = buf[res:], off+int64(res)
+	} else if e := syscall.Errno(-res); e != syscall.EINTR && e != syscall.EAGAIN {
+		return e
+	}
+	return u.rw(op, buf, off)
+}
+
+// --- completion -----------------------------------------------------------
+
+// drain consumes every available CQE and dispatches it. The caller holds the
+// drive token — the sole license to advance the CQ head.
+func (u *uring) drain() {
+	for {
+		head := atomic.LoadUint32(u.cqHead)
+		if head == atomic.LoadUint32(u.cqTail) {
+			return
+		}
+		cqe := u.cqes[head&u.cqMask]
+		atomic.StoreUint32(u.cqHead, head+1)
+		u.dispatch(cqe)
+	}
+}
+
+// dispatch routes one CQE to its slot: callback completions run inline (on
+// whichever goroutine is driving) and recycle the slot; synchronous waiters
+// get the raw result on the slot's one-slot channel.
+func (u *uring) dispatch(cqe uringCQE) {
+	slot := uint32(cqe.userData)
+	u.mu.Lock()
+	cb := u.slots[slot].cb
+	u.slots[slot].cb = nil
+	u.mu.Unlock()
+	if cb != nil {
+		cb(cqe.res)
+		u.release(slot)
+	} else {
+		u.slots[slot].ch <- cqe.res
+	}
+}
+
+// abort marks the ring dead and fails every pending callback so waiters and
+// prefetch consumers unblock with EIO instead of hanging. Only reachable when
+// io_uring_enter itself fails hard, which a healthy ring never does.
+// Idempotent: concurrent aborters race benignly on the dead check.
+func (u *uring) abort() {
+	u.mu.Lock()
+	select {
+	case <-u.dead:
+		u.mu.Unlock()
+		return
+	default:
+	}
+	for i := range u.slots {
+		if cb := u.slots[i].cb; cb != nil {
+			u.slots[i].cb = nil
+			cb(-int32(syscall.EIO))
+		}
+	}
+	close(u.dead)
+	u.mu.Unlock()
+}
+
+// retire permanently withdraws a slot after a submission error: its SQE may
+// sit unconsumed in the ring, and a late completion must not race the slot's
+// reuse. close() counts retired slots as settled.
+func (u *uring) retire() { u.retired.Add(1) }
+
+// close shuts the ring down. The store calls this only after the pipeline
+// has drained its own work, but dropped prefetch windows may still be in
+// flight, so close drives the CQ until every slot is back on the free list
+// (or permanently retired) before releasing the mappings and the ring fd.
+func (u *uring) close() error {
+	if u.closed {
+		return u.closeErr
+	}
+	u.closed = true
+	for uint32(len(u.freeSlots))+u.retired.Load() < uint32(len(u.slots)) {
+		select {
+		case <-u.dead:
+			goto teardown
+		case <-u.drive:
+			u.drain()
+			var err error
+			if uint32(len(u.freeSlots))+u.retired.Load() < uint32(len(u.slots)) {
+				if _, err = u.enter(0, 1, uringEnterGetEvents); err == nil {
+					u.drain()
+				}
+			}
+			u.drive <- struct{}{}
+			if err != nil {
+				u.abort()
+			}
+		}
+	}
+teardown:
+	u.munmapAll()
+	u.closeErr = syscall.Close(u.ringFD)
+	return u.closeErr
+}
+
+// --- capability probe -----------------------------------------------------
+
+var uringProbe struct {
+	once sync.Once
+	ok   bool
+}
+
+// UringSupported reports whether the running kernel accepts io_uring rings —
+// a setup plus one NOP submission round-trip, cached for the process.
+// Mirrors DirectIOSupported: callers gate Pipeline.Uring on it, and the knob
+// silently degrades to the syscall paths when it reports false.
+func UringSupported() bool {
+	uringProbe.once.Do(func() { uringProbe.ok = probeUring() })
+	return uringProbe.ok
+}
+
+func probeUring() bool {
+	u, err := setupRing(2, false)
+	if err != nil {
+		return false
+	}
+	defer u.destroy()
+	u.prepNopLocked(0)
+	if _, err := u.enter(1, 1, uringEnterGetEvents); err != nil {
+		return false
+	}
+	return atomic.LoadUint32(u.cqHead) != atomic.LoadUint32(u.cqTail)
+}
