@@ -2,15 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short race parity check fault bench bench-compare bench-pr5 bench-pr6 bench-pr7 bench-pr8 microbench table1 examples clean
+.PHONY: all build crossbuild vet lint test test-short race parity check fault bench bench-compare bench-pr5 bench-pr6 bench-pr7 bench-pr8 microbench table1 examples clean
 
 all: build lint test
 
-# The default verification path: compile, lint, full tests.
-check: build lint test
+# The default verification path: compile (native and cross), lint, full tests.
+check: build crossbuild lint test
 
 build:
 	$(GO) build ./...
+
+# Cross-compile smoke: the io_uring and O_DIRECT backends are gated by build
+# tags (io_uring to linux/{amd64,arm64,riscv64}), and their stubs promise the
+# rest of the tree compiles unchanged everywhere else. darwin exercises the
+# !linux branch, linux/386 the unsupported-arch branch of the linux tags.
+crossbuild:
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=386 $(GO) build ./...
 
 vet:
 	$(GO) vet ./...

@@ -167,6 +167,12 @@ type uring struct {
 	// retired counts slots permanently withdrawn after submission errors (a
 	// late completion could race their reuse); close() accounts for them.
 	retired atomic.Uint32
+	// slotWaiters counts goroutines committed to a blocking enter(GETEVENTS)
+	// while waiting for a free slot. Slot release is channel-side — no CQE
+	// backs it — so release() must poke the ring with a NOP when such a waiter
+	// exists, or a slot freed after the waiter's last re-check could leave it
+	// blocked in the kernel with no completion ever coming.
+	slotWaiters atomic.Int32
 
 	// drive is the CQ-ownership token: holding it licenses drain/enter on
 	// the completion side. dead is closed when the ring fails hard; every
@@ -394,15 +400,36 @@ func (u *uring) storeMetrics() *storeMetrics {
 // (a slot can only come back by retiring a completion, and there may be no
 // other goroutine around to do it). Fails only when the ring has died.
 func (u *uring) acquire() (uint32, bool) {
-	return await(u, u.freeSlots)
+	return await(u, u.freeSlots, true)
 }
 
-func (u *uring) release(slot uint32) { u.freeSlots <- slot }
+// tryAcquire takes a free slot only when one is immediately available; it
+// never blocks and never drives the completion queue. Batched submitters use
+// it to widen a submission window without committing to a wait.
+func (u *uring) tryAcquire() (uint32, bool) {
+	select {
+	case slot := <-u.freeSlots:
+		return slot, true
+	default:
+		return 0, false
+	}
+}
+
+// release returns a slot to the free list. The release is channel-side — no
+// CQE announces it — so when a driver has committed to a blocking
+// enter(GETEVENTS) waiting for exactly this event, a NOP is submitted to
+// manufacture the completion that wakes it.
+func (u *uring) release(slot uint32) {
+	u.freeSlots <- slot
+	if u.slotWaiters.Load() > 0 {
+		u.poke()
+	}
+}
 
 // wait blocks for slot's completion and returns the raw CQE result. The
 // waiter drives the CQ itself when it wins the drive token.
 func (u *uring) wait(slot uint32) int32 {
-	res, ok := await(u, u.slots[slot].ch)
+	res, ok := await(u, u.slots[slot].ch, false)
 	if !ok {
 		return -int32(syscall.EIO)
 	}
@@ -415,14 +442,23 @@ func (u *uring) wait(slot uint32) int32 {
 // to a ring-driven completion (or already be closed): the blocking
 // enter(GETEVENTS) inside relies on a CQE being in flight.
 func (u *uring) waitDone(done <-chan struct{}) {
-	await(u, done)
+	await(u, done, false)
 }
 
 // await parks on ready until a value (or close) arrives, while competing for
 // the drive token; the winner drains the completion queue and blocks in
 // enter(GETEVENTS) for more, dispatching everyone's completions on the way.
 // Returns ok=false when the ring is dead.
-func await[T any](u *uring, ready <-chan T) (T, bool) {
+//
+// slotWait marks a waiter whose ready channel is the free-slot list. Every
+// other ready event is CQE-backed — the blocking enter is woken by the very
+// completion being awaited — but a slot release is a plain channel send, so
+// the waiter must register in slotWaiters before committing to the kernel and
+// re-check afterwards: either the final re-check sees the released slot, or
+// the releaser sees the registration and pokes a NOP completion through the
+// ring to wake the enter. (Both sides use sequentially consistent atomics, so
+// missing both is impossible.)
+func await[T any](u *uring, ready <-chan T, slotWait bool) (T, bool) {
 	var zero T
 	for {
 		select {
@@ -443,7 +479,22 @@ func await[T any](u *uring, ready <-chan T) (T, bool) {
 				return zero, false
 			default:
 			}
+			if slotWait {
+				u.slotWaiters.Add(1)
+				// Final re-check, after the registration is visible: a slot
+				// released before it missed both the drain and the poke.
+				select {
+				case v := <-ready:
+					u.slotWaiters.Add(-1)
+					u.drive <- struct{}{}
+					return v, true
+				default:
+				}
+			}
 			_, err := u.enter(0, 1, uringEnterGetEvents)
+			if slotWait {
+				u.slotWaiters.Add(-1)
+			}
 			if err == nil {
 				u.drain()
 			}
@@ -510,6 +561,12 @@ func (u *uring) flushLocked(n uint32) error {
 		sm.uringSQEBatch.Observe(int64(n))
 		sm.uringInflight.Observe(int64(len(u.slots) - len(u.freeSlots)))
 	}
+	return u.flushRawLocked(n)
+}
+
+// flushRawLocked is flushLocked without the telemetry: pokes go through here
+// so wakeup NOPs do not pollute the SQE-batch and queue-depth histograms.
+func (u *uring) flushRawLocked(n uint32) error {
 	if u.sqpoll {
 		if atomic.LoadUint32(u.sqFlags)&uringSQNeedWakeup != 0 {
 			_, err := u.enter(0, 0, uringEnterSQWakeup)
@@ -526,6 +583,30 @@ func (u *uring) flushLocked(n uint32) error {
 		u.unsubmitted -= done
 	}
 	return nil
+}
+
+// pokeData is the reserved user_data of wakeup NOPs; it can never collide
+// with a slot index, and dispatch drops its CQEs on the floor.
+const pokeData = ^uint64(0)
+
+// poke submits a NOP whose completion wakes a driver blocked in
+// enter(GETEVENTS) — the manufactured CQE for events (slot releases) that the
+// kernel cannot see. Rare by construction: only taken when slotWaiters
+// reports a waiter committed to the kernel, i.e. the ring was saturated.
+func (u *uring) poke() {
+	u.mu.Lock()
+	select {
+	case <-u.dead:
+		u.mu.Unlock()
+		return
+	default:
+	}
+	u.prepNopLocked(pokeData)
+	err := u.flushRawLocked(1)
+	u.mu.Unlock()
+	if err != nil {
+		u.abort()
+	}
 }
 
 // submit preps every request and flushes them with a single enter. Callers
@@ -660,8 +741,12 @@ func (u *uring) drain() {
 
 // dispatch routes one CQE to its slot: callback completions run inline (on
 // whichever goroutine is driving) and recycle the slot; synchronous waiters
-// get the raw result on the slot's one-slot channel.
+// get the raw result on the slot's one-slot channel. Wakeup NOPs carry no
+// slot — their only job was returning the enter that drained them.
 func (u *uring) dispatch(cqe uringCQE) {
+	if cqe.userData == pokeData {
+		return
+	}
 	slot := uint32(cqe.userData)
 	u.mu.Lock()
 	cb := u.slots[slot].cb
@@ -719,9 +804,16 @@ func (u *uring) close() error {
 			u.drain()
 			var err error
 			if uint32(len(u.freeSlots))+u.retired.Load() < uint32(len(u.slots)) {
-				if _, err = u.enter(0, 1, uringEnterGetEvents); err == nil {
-					u.drain()
+				// Like acquire, this waits for a channel-side event (slots
+				// coming home), so register for release()'s poke before
+				// committing to the kernel.
+				u.slotWaiters.Add(1)
+				if uint32(len(u.freeSlots))+u.retired.Load() < uint32(len(u.slots)) {
+					if _, err = u.enter(0, 1, uringEnterGetEvents); err == nil {
+						u.drain()
+					}
 				}
+				u.slotWaiters.Add(-1)
 			}
 			u.drive <- struct{}{}
 			if err != nil {

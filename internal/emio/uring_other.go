@@ -31,6 +31,7 @@ func newUring(*os.File, int, bool) (*uring, error) { return nil, errNoUring }
 func (*uring) pread([]byte, int64) error                             { return errNoUring }
 func (*uring) pwrite([]byte, int64) error                            { return errNoUring }
 func (*uring) acquire() (uint32, bool)                               { return 0, false }
+func (*uring) tryAcquire() (uint32, bool)                            { return 0, false }
 func (*uring) release(uint32)                                        {}
 func (*uring) retire()                                               {}
 func (*uring) wait(uint32) int32                                     { return 0 }

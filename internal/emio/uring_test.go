@@ -1,7 +1,10 @@
 package emio
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/emio/metrics"
@@ -96,6 +99,62 @@ func TestUringRoundTrip(t *testing.T) {
 			// The completion reaper (and the pipeline workers) must be gone.
 			RequireNoGoroutineLeaks(t, base)
 		}
+	}
+}
+
+// TestUringSlotContention hammers a depth-2 ring from many goroutines so
+// acquirers routinely commit to a blocking enter(GETEVENTS) while the slot
+// they need comes back channel-side through release. This is the liveness
+// race the slotWaiters/poke protocol closes: a driver that re-checked the
+// free list just before a release would otherwise park in the kernel with no
+// completion ever coming. The test completing (under the suite timeout) is
+// the assertion; -race additionally checks the registration ordering.
+func TestUringSlotContention(t *testing.T) {
+	if !UringSupported() {
+		t.Skip("io_uring not supported on this kernel/platform")
+	}
+	f, err := os.Create(filepath.Join(t.TempDir(), "ring.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	u, err := newUring(f, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, iters, sz = 8, 200, 512
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(w + 1)}, sz)
+			got := make([]byte, sz)
+			for i := 0; i < iters; i++ {
+				off := int64(w*iters+i) * sz
+				if err := u.pwrite(buf, off); err != nil {
+					errs <- err
+					return
+				}
+				if err := u.pread(got, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					t.Errorf("worker %d iter %d: read back wrong data", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := u.close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
