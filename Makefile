@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build crossbuild vet lint test test-short race parity check fault bench bench-compare bench-pr5 bench-pr6 bench-pr7 bench-pr8 microbench table1 examples clean
+.PHONY: all build crossbuild vet lint test test-short race parity check fault crash bench bench-compare bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr10 microbench table1 examples clean
 
 all: build lint test
 
@@ -57,6 +57,15 @@ parity:
 fault:
 	$(GO) test -race -count=1 -run 'Fault|Resilien|Corrupt|Retry|Checksum|Backoff|Sticky' . ./internal ./internal/emio
 
+# The crash-recovery harness and the robustness layer around it: the real
+# SIGKILL crash/resume matrix over the emsort binary, the checkpoint layer's
+# scripted-crash resume tests, the cancellation-timing matrix (every
+# algorithm x every backend, with goroutine-leak checks), and the job-layer
+# validation — cancellation rows under the race detector.
+crash:
+	$(GO) test -count=1 -run 'CrashRecovery|SortCheckpointed|SortJob' . ./internal/extsort
+	$(GO) test -race -count=1 -run 'Cancellation|BindContext|ENOSPC' .
+
 # Regenerate the checked-in wall-clock A/B document for the async I/O
 # pipeline (sort/partition/splitters, pipeline off vs on, buffered and
 # O_DIRECT backing). Progress goes to stderr, the JSON to BENCH_pr3.json.
@@ -95,6 +104,14 @@ bench-pr7:
 # emits the host record and no rows. JSON goes to BENCH_pr8.json.
 bench-pr8:
 	$(GO) run ./cmd/embench -suite pr8 > BENCH_pr8.json
+
+# Regenerate the checkpoint-journal overhead A/B document: file-backed sorts
+# with the journal off, on (default process-crash grade, no fsyncs), and on
+# with -full-sync (power-loss grade, fsync per phase barrier). The contract:
+# logical I/O identical everywhere, default-grade wall overhead within a few
+# percent. JSON goes to BENCH_pr10.json.
+bench-pr10:
+	$(GO) run ./cmd/embench -suite pr10 > BENCH_pr10.json
 
 microbench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...

@@ -17,6 +17,19 @@
 // stream.
 // -checksum and -retry arm the resilience layer: corrupted blocks and
 // persistent transient faults abort the job with a typed, nonzero-exit error.
+//
+// Job lifecycle:
+//
+//   - SIGINT/SIGTERM cancel the running sort cooperatively: the job stops
+//     within about one block transfer, reports its partial I/O cost, flushes
+//     telemetry and exits nonzero. A second signal exits immediately.
+//   - -disk-budget caps the simulated disk's footprint in bytes; a job that
+//     would exceed it degrades its merge fan-in where possible and otherwise
+//     fails with a typed resource error.
+//   - -journal FILE makes the sort crash-safe (needs -backing): completed
+//     runs and merge passes are checkpointed to FILE, and after a crash the
+//     same command with -resume continues from the last completed phase
+//     instead of restarting. The resumed output is byte-identical.
 package main
 
 import (
@@ -27,9 +40,12 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"flag"
@@ -40,22 +56,49 @@ import (
 )
 
 var (
-	flagM       = flag.Int("m", 1<<12, "memory size M in elements")
-	flagB       = flag.Int("b", 1<<5, "block size B in elements")
-	flagWorkers = flag.Int("workers", 0, "worker goroutines for the parallel sharded engine (0 = sequential engine; the parallel engine's output matches it bit for bit, and engine I/O counts are identical for every worker count)")
-	flagIn      = flag.String("in", "", "input file of integers (default stdin)")
-	flagOut     = flag.String("out", "", "output file (default stdout)")
-	flagBacking = flag.String("backing", "", "path for a real backing file for the simulated disk (default: in-memory)")
-	flagUring   = flag.Bool("uring", false, "submit physical I/O through a batched io_uring with the async pipeline (needs -backing; degrades silently to positioned syscalls where unsupported)")
-	flagTrace   = flag.Bool("trace", false, "print a phase trace (span tree with I/O attribution) to the report stream")
-	flagMetrics = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
-	flagProg    = flag.Duration("progress", 0, "print a progress/ETA line to the report stream at this interval (0 = off)")
-	flagSum     = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
-	flagRetry   = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
-	flagLog     = flag.String("log", "", "append structured JSON-lines event log to this file")
-	flagOTLP    = flag.String("otlp", "", "write OTLP/JSON trace+metrics export to PREFIX.trace.json / PREFIX.metrics.json (implies tracing and metrics)")
-	flagTop     = flag.Bool("top", false, "render a live terminal dashboard to stderr while the job runs")
+	flagM        = flag.Int("m", 1<<12, "memory size M in elements")
+	flagB        = flag.Int("b", 1<<5, "block size B in elements")
+	flagWorkers  = flag.Int("workers", 0, "worker goroutines for the parallel sharded engine (0 = sequential engine; the parallel engine's output matches it bit for bit, and engine I/O counts are identical for every worker count)")
+	flagIn       = flag.String("in", "", "input file of integers (default stdin)")
+	flagOut      = flag.String("out", "", "output file (default stdout)")
+	flagBacking  = flag.String("backing", "", "path for a real backing file for the simulated disk (default: in-memory)")
+	flagUring    = flag.Bool("uring", false, "submit physical I/O through a batched io_uring with the async pipeline (needs -backing; degrades silently to positioned syscalls where unsupported)")
+	flagTrace    = flag.Bool("trace", false, "print a phase trace (span tree with I/O attribution) to the report stream")
+	flagMetrics  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this host:port while the job runs")
+	flagProg     = flag.Duration("progress", 0, "print a progress/ETA line to the report stream at this interval (0 = off)")
+	flagSum      = flag.Bool("checksum", false, "CRC32C-checksum every stored block and fail on corruption at read time")
+	flagRetry    = flag.Int("retry", 0, "retry transient backing-I/O faults up to this many attempts (0 or 1 = off)")
+	flagLog      = flag.String("log", "", "append structured JSON-lines event log to this file")
+	flagOTLP     = flag.String("otlp", "", "write OTLP/JSON trace+metrics export to PREFIX.trace.json / PREFIX.metrics.json (implies tracing and metrics)")
+	flagTop      = flag.Bool("top", false, "render a live terminal dashboard to stderr while the job runs")
+	flagJournal  = flag.String("journal", "", "checkpoint journal path: make the sort crash-safe, resumable with -resume (needs -backing, sequential only)")
+	flagResume   = flag.Bool("resume", false, "resume a crashed job from -journal instead of starting fresh")
+	flagFullSync = flag.Bool("full-sync", false, "power-loss durability: fsync backing file and journal at every phase barrier (default journaling never fsyncs — it survives process crashes like SIGKILL and OOM at near-zero overhead, but not a power cut)")
+	flagBudget   = flag.Int64("disk-budget", 0, "cap the simulated disk footprint at this many bytes (0 = unbounded); jobs degrade or fail with a typed resource error")
+	flagCrashW   = flag.Int64("crash-after-write", 0, "SIGKILL self at this positive physical write op (crash-harness hook; counted after staging; 0 disarms)")
 )
+
+// liveSys publishes the running System to the signal trap. Stored once the
+// System exists, cleared when the job is done (so a late signal falls back
+// to a plain exit).
+var liveSys atomic.Pointer[empart.System]
+
+// trapSignals cancels the live System on SIGINT/SIGTERM — the running sort
+// observes the flag at its next block transfer and unwinds with a typed
+// cancellation error, which main reports with partial stats and a nonzero
+// exit. A second signal gives up on cooperation and exits immediately.
+func trapSignals() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		if sys := liveSys.Load(); sys != nil {
+			sys.Cancel(fmt.Errorf("received %v", sig))
+			<-ch // a second signal forces the issue
+		}
+		os.Exit(130)
+	}()
+}
 
 // runOpts carries one emsort invocation.
 type runOpts struct {
@@ -67,6 +110,10 @@ type runOpts struct {
 	progress    time.Duration
 	otlp        string
 	top         bool
+	journal     string
+	resume      bool
+	fullSync    bool
+	crashWrite  int64
 }
 
 func main() {
@@ -102,10 +149,11 @@ func main() {
 	o := runOpts{
 		cfg: empart.Config{
 			M: *flagM, B: *flagB,
-			Workers:  *flagWorkers,
-			Checksum: *flagSum,
-			Retry:    empart.Retry{MaxAttempts: *flagRetry},
-			Log:      empart.LogConfig{Level: slog.LevelDebug, Path: *flagLog},
+			Workers:    *flagWorkers,
+			Checksum:   *flagSum,
+			Retry:      empart.Retry{MaxAttempts: *flagRetry},
+			Log:        empart.LogConfig{Level: slog.LevelDebug, Path: *flagLog},
+			DiskBudget: *flagBudget,
 		},
 		uring:       *flagUring,
 		backing:     *flagBacking,
@@ -114,7 +162,12 @@ func main() {
 		progress:    *flagProg,
 		otlp:        *flagOTLP,
 		top:         *flagTop,
+		journal:     *flagJournal,
+		resume:      *flagResume,
+		fullSync:    *flagFullSync,
+		crashWrite:  *flagCrashW,
 	}
+	trapSignals()
 	if err := run(o, in, dst, os.Stderr); err != nil {
 		log.Fatal(renderErr(err))
 	}
@@ -132,7 +185,31 @@ func renderErr(err error) string {
 	if errors.As(err, &te) {
 		return fmt.Sprintf("giving up after %d attempt(s): %v", te.Attempts, err)
 	}
+	var cle *empart.CancelledError
+	if errors.As(err, &cle) {
+		return fmt.Sprintf("cancelled: %v", err)
+	}
+	var re *empart.ResourceError
+	if errors.As(err, &re) {
+		return fmt.Sprintf("out of disk: %v", err)
+	}
 	return err.Error()
+}
+
+// reportAbort annotates a failed job on the report stream: a cancelled job
+// prints the partial I/O cost it had paid, a quota-rejected one prints live
+// usage. The error passes through for main's typed rendering and nonzero
+// exit.
+func reportAbort(sys *empart.System, err error, report io.Writer) error {
+	if errors.Is(err, empart.ErrCancelled) {
+		fmt.Fprintf(report, "emsort: cancelled; partial cost %v\n", sys.Stats())
+	}
+	var re *empart.ResourceError
+	if errors.As(err, &re) && sys.DiskBudget() > 0 {
+		fmt.Fprintf(report, "emsort: disk budget %d bytes, %d in use at failure\n",
+			sys.DiskBudget(), sys.DiskBytes())
+	}
+	return err
 }
 
 // startTelemetry attaches a metrics registry to sys and starts the opt-in
@@ -223,15 +300,19 @@ func writeOTLP(sys *empart.System, prefix string) error {
 
 // run reads integers from in, sorts them on an EM machine of the given
 // configuration (optionally file-backed), writes the sorted keys to dst and
-// an I/O report (plus a phase trace when requested) to report.
+// an I/O report (plus a phase trace when requested) to report. With a
+// journal configured it routes through the crash-safe job layer instead.
 func run(o runOpts, in io.Reader, dst, report io.Writer) error {
-	elems, err := parseKeys(in)
-	if err != nil {
-		return err
-	}
 	if o.uring {
 		o.cfg.Pipeline.Enabled = true
 		o.cfg.Pipeline.Uring = true
+	}
+	if o.journal != "" || o.resume {
+		return runJob(o, in, dst, report)
+	}
+	elems, err := parseKeys(in)
+	if err != nil {
+		return err
 	}
 	var sys *empart.System
 	if o.backing != "" {
@@ -243,23 +324,11 @@ func run(o runOpts, in io.Reader, dst, report io.Writer) error {
 		return err
 	}
 	defer sys.Close()
-	// The startup line records which physical backends the host could
-	// exercise and which one this run actually uses, so a saved report is
-	// self-describing (the bench JSONs carry the same host fields).
-	probeDir := os.TempDir()
-	if o.backing != "" {
-		probeDir = filepath.Dir(o.backing)
-	}
-	backend := "memory"
-	switch {
-	case o.backing != "" && sys.UringActive():
-		backend = "file+uring"
-	case o.backing != "":
-		backend = "file"
-	}
-	fmt.Fprintf(report, "emsort: host directIO=%v uring=%v  backend=%s\n",
-		empart.DirectIOSupported(probeDir), empart.UringSupported(), backend)
+	liveSys.Store(sys)
+	defer liveSys.Store(nil)
+	reportBackend(sys, o, report)
 	f := sys.Stage(elems)
+	armCrash(sys, o)
 	sys.ResetStats()
 	if o.trace {
 		sys.EnableTracing()
@@ -273,8 +342,87 @@ func run(o runOpts, in io.Reader, dst, report io.Writer) error {
 	out, err := sys.Sort(f)
 	stopTelemetry()
 	if err != nil {
+		return reportAbort(sys, err, report)
+	}
+	return emit(sys, o, n, out, dst, report)
+}
+
+// runJob is the crash-safe path: the sort runs through a checkpoint journal,
+// either fresh (-journal) or resumed after a crash (-journal -resume).
+func runJob(o runOpts, in io.Reader, dst, report io.Writer) error {
+	job, err := empart.OpenSortJob(empart.JobConfig{
+		Config:   o.cfg,
+		Path:     o.backing,
+		Journal:  o.journal,
+		Resume:   o.resume,
+		FullSync: o.fullSync,
+	}, func() ([]empart.Elem, error) { return parseKeys(in) })
+	if err != nil {
 		return err
 	}
+	defer job.Close()
+	sys := job.System()
+	liveSys.Store(sys)
+	defer liveSys.Store(nil)
+	reportBackend(sys, o, report)
+	if o.resume {
+		runs, lastPass, done := job.Resumable()
+		fmt.Fprintf(report, "emsort: resuming from %s: %d completed run(s), last merge pass %d, done=%v\n",
+			o.journal, runs, lastPass, done)
+	}
+	armCrash(sys, o)
+	sys.ResetStats()
+	if o.trace {
+		sys.EnableTracing()
+	}
+	n := job.N()
+	mc := sys.Machine()
+	stopTelemetry, err := startTelemetry(sys, o, int64(mc.Sort(n)), report)
+	if err != nil {
+		return err
+	}
+	out, err := job.Run()
+	stopTelemetry()
+	if err != nil {
+		return reportAbort(sys, err, report)
+	}
+	return emit(sys, o, n, out, dst, report)
+}
+
+// reportBackend prints the startup line recording which physical backends
+// the host could exercise and which one this run actually uses, so a saved
+// report is self-describing (the bench JSONs carry the same host fields).
+func reportBackend(sys *empart.System, o runOpts, report io.Writer) {
+	probeDir := os.TempDir()
+	if o.backing != "" {
+		probeDir = filepath.Dir(o.backing)
+	}
+	backend := "memory"
+	switch {
+	case o.backing != "" && sys.UringActive():
+		backend = "file+uring"
+	case o.backing != "":
+		backend = "file"
+	}
+	fmt.Fprintf(report, "emsort: host directIO=%v uring=%v  backend=%s\n",
+		empart.DirectIOSupported(probeDir), empart.UringSupported(), backend)
+}
+
+// armCrash installs the crash-harness injector when -crash-after-write is
+// set to a positive op number: the process SIGKILLs itself at the scheduled
+// physical write, modeling a power cut mid-job for the kill-resume tests.
+// Zero and negative are both disarmed, so a zero-valued runOpts is safe.
+func armCrash(sys *empart.System, o runOpts) {
+	if o.crashWrite <= 0 {
+		return
+	}
+	inj := empart.NewInjector(1)
+	inj.CrashWrite(o.crashWrite)
+	sys.SetInjector(inj)
+}
+
+// emit verifies and writes the sorted output and prints the cost report.
+func emit(sys *empart.System, o runOpts, n int64, out *empart.File, dst, report io.Writer) error {
 	sorted := sys.Read(out)
 	if err := verify.Sorted(sorted); err != nil {
 		return fmt.Errorf("internal error: %w", err)
@@ -287,6 +435,7 @@ func run(o runOpts, in io.Reader, dst, report io.Writer) error {
 		return err
 	}
 	st := sys.Stats()
+	mc := sys.Machine()
 	fmt.Fprintf(report, "emsort: N=%d M=%d B=%d  cost %v  bound %.0f  floor %.0f\n",
 		n, o.cfg.M, o.cfg.B, st, mc.Sort(n), mc.SortFloor(n))
 	if rep := sys.ShardReport(); rep.Shards > 1 {

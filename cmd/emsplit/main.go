@@ -21,9 +21,12 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	empart "repro"
@@ -55,7 +58,28 @@ var (
 	flagLog     = flag.String("log", "", "append structured JSON-lines event log to this file")
 	flagOTLP    = flag.String("otlp", "", "write OTLP/JSON trace+metrics export to PREFIX.trace.json / PREFIX.metrics.json (implies tracing and metrics)")
 	flagTop     = flag.Bool("top", false, "render a live terminal dashboard to stderr while the job runs")
+	flagBudget  = flag.Int64("disk-budget", 0, "cap the simulated disk footprint at this many bytes (0 = unbounded); jobs fail with a typed resource error when exceeded")
 )
+
+// liveSys publishes the running System to the signal trap.
+var liveSys atomic.Pointer[empart.System]
+
+// trapSignals cancels the live System on SIGINT/SIGTERM: the running
+// algorithm unwinds with a typed cancellation error at its next block
+// transfer, partial stats are reported, and the process exits nonzero. A
+// second signal exits immediately.
+func trapSignals() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		if sys := liveSys.Load(); sys != nil {
+			sys.Cancel(fmt.Errorf("received %v", sig))
+			<-ch
+		}
+		os.Exit(130)
+	}()
+}
 
 // options carries one emsplit invocation.
 type options struct {
@@ -76,6 +100,7 @@ type options struct {
 	logPath  string
 	otlp     string
 	top      bool
+	budget   int64
 
 	metricsAddr string
 	progress    time.Duration
@@ -92,6 +117,7 @@ func main() {
 	if want := 2 * *flagWorkers; want > runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(want)
 	}
+	trapSignals()
 	report, err := execute(options{
 		algo: *flagAlgo, n: *flagN, m: *flagM, b: *flagB, workers: *flagWorkers,
 		backing: *flagBacking, uring: *flagUring,
@@ -99,6 +125,7 @@ func main() {
 		dist: *flagDist, seed: *flagSeed, lo: *flagLo, hi: *flagHi,
 		trace: *flagTrace, checksum: *flagSum, retry: *flagRetry,
 		logPath: *flagLog, otlp: *flagOTLP, top: *flagTop,
+		budget:      *flagBudget,
 		metricsAddr: *flagMetrics, progress: *flagProg, progressOut: os.Stderr,
 	})
 	if err != nil {
@@ -119,25 +146,33 @@ func renderErr(err error) string {
 	if errors.As(err, &te) {
 		return fmt.Sprintf("giving up after %d attempt(s): %v", te.Attempts, err)
 	}
+	var cle *empart.CancelledError
+	if errors.As(err, &cle) {
+		return fmt.Sprintf("cancelled: %v", err)
+	}
+	var re *empart.ResourceError
+	if errors.As(err, &re) {
+		return fmt.Sprintf("out of disk: %v", err)
+	}
 	return err.Error()
 }
 
 // execute runs one algorithm with verification and returns the report text.
-func execute(o options) (string, error) {
+func execute(o options) (report string, err error) {
 	var sb strings.Builder
 	cfg := empart.Config{
 		M: o.m, B: o.b,
-		Workers:  o.workers,
-		Checksum: o.checksum,
-		Retry:    empart.Retry{MaxAttempts: o.retry},
-		Log:      empart.LogConfig{Level: slog.LevelDebug, Path: o.logPath},
+		Workers:    o.workers,
+		Checksum:   o.checksum,
+		Retry:      empart.Retry{MaxAttempts: o.retry},
+		Log:        empart.LogConfig{Level: slog.LevelDebug, Path: o.logPath},
+		DiskBudget: o.budget,
 	}
 	if o.uring {
 		cfg.Pipeline.Enabled = true
 		cfg.Pipeline.Uring = true
 	}
 	var sys *empart.System
-	var err error
 	if o.backing != "" {
 		sys, err = empart.NewFileBacked(cfg, o.backing)
 	} else {
@@ -149,6 +184,15 @@ func execute(o options) (string, error) {
 	// Close flushes the buffered event-log file sink; without it a -log run
 	// of the in-memory backend would leave an empty JSONL file.
 	defer sys.Close()
+	liveSys.Store(sys)
+	defer liveSys.Store(nil)
+	// A cancelled job still reports the block I/Os it had paid, so an
+	// interrupted long run leaves a useful trail on the telemetry stream.
+	defer func() {
+		if err != nil && errors.Is(err, empart.ErrCancelled) && o.progressOut != nil {
+			fmt.Fprintf(o.progressOut, "emsplit: cancelled; partial cost %v\n", sys.Stats())
+		}
+	}()
 	// The host line records which physical backends this machine could
 	// exercise and which one the run actually uses, so a saved report is
 	// self-describing (the bench JSONs carry the same host fields).

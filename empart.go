@@ -32,7 +32,9 @@
 package empart
 
 import (
+	"context"
 	"log/slog"
+	"sync"
 	"time"
 
 	"repro/internal/bounds"
@@ -76,6 +78,21 @@ type (
 	// FaultError attributes any other physical failure to a file, block and
 	// backing offset. Match with errors.As.
 	FaultError = emio.FaultError
+	// CancelledError reports an operation abandoned by cooperative
+	// cancellation (System.Cancel, a bound context, a signal trap), carrying
+	// the cause. Match with errors.As, or errors.Is against ErrCancelled.
+	CancelledError = emio.CancelledError
+	// ResourceError reports a resource quota violation or exhaustion — the
+	// disk-byte budget (Config.DiskBudget) rejecting an append, or a real
+	// ENOSPC from the backing device — with live usage figures. Match with
+	// errors.As, or errors.Is against ErrDiskBudget for quota rejections.
+	ResourceError = emio.ResourceError
+	// FileManifest is the durable description of a file's on-disk layout
+	// used by checkpoint journals and resume adoption.
+	FileManifest = emio.FileManifest
+	// SortCheckpoint is the phase journal of a crash-safe sort job; see
+	// OpenSortJob.
+	SortCheckpoint = extsort.Checkpoint
 	// Injector is a deterministic physical-fault schedule for resilience
 	// testing; install with System.SetInjector.
 	Injector = emio.Injector
@@ -141,6 +158,12 @@ const (
 var (
 	ErrTransient = emio.ErrTransient
 	ErrInjected  = emio.ErrInjected
+	// ErrCancelled marks every CancelledError; errors.Is(err, ErrCancelled)
+	// recognizes a cooperatively cancelled operation whatever the cause.
+	ErrCancelled = emio.ErrCancelled
+	// ErrDiskBudget marks ResourceErrors raised by the configured disk-byte
+	// quota (as opposed to real device exhaustion).
+	ErrDiskBudget = emio.ErrDiskBudget
 )
 
 // System is an external-memory machine instance: a simulated disk with I/O
@@ -210,9 +233,93 @@ func NewFileBacked(cfg Config, path string) (*System, error) {
 	return s, nil
 }
 
+// NewFileBackedResume creates a System over an EXISTING backing file at
+// path, preserved rather than truncated, for crash recovery: the disk starts
+// with an empty allocator, and the caller re-attaches surviving data by
+// adopting journaled manifests (Disk.AdoptFile) before any new writes. Used
+// by OpenSortJob with Resume set; most callers want that entry point rather
+// than this one.
+func NewFileBackedResume(cfg Config, path string) (*System, error) {
+	d, err := emio.NewFileBackedDiskResume(path, cfg.B, cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := emio.NewCtxWithDisk(cfg, d)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	s := &System{ctx: ctx}
+	if err := s.armWorkers(cfg); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
 // Close releases backend resources (the backing file for file-backed
 // systems; a no-op otherwise).
 func (s *System) Close() error { return s.ctx.Disk().Close() }
+
+// Cancel requests cooperative cancellation of whatever operation is running
+// (or runs next) on this System, recording cause. The first block transfer
+// to observe the flag — on the algorithm goroutine, a pipeline worker, a
+// prefetcher or a shard worker — abandons the operation, which returns a
+// *CancelledError wrapping cause within about one block-transfer latency.
+// Safe to call from any goroutine, including signal handlers; the first
+// cause wins and later calls are no-ops. The System stays cancelled (every
+// subsequent operation fails immediately) until ClearCancel.
+func (s *System) Cancel(cause error) { s.ctx.Disk().Cancel(cause) }
+
+// Cancelled returns nil while the System is live, or the *CancelledError
+// recorded by Cancel.
+func (s *System) Cancelled() error { return s.ctx.Disk().Cancelled() }
+
+// ClearCancel re-arms a cancelled System for further operations.
+func (s *System) ClearCancel() { s.ctx.Disk().ClearCancel() }
+
+// BindContext ties the System's cancellation to a context: when ctx is
+// cancelled, System.Cancel fires with the context's cause. It returns a stop
+// function that detaches the watcher (always call it, typically deferred —
+// the per-operation Context variants like SortContext do this for you). A
+// context that can never be cancelled binds nothing and costs nothing.
+func (s *System) BindContext(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	// An already-dead context cancels synchronously: the first logical I/O
+	// after binding must observe it, without racing the watcher's wakeup.
+	if ctx.Err() != nil {
+		s.Cancel(context.Cause(ctx))
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.Cancel(context.Cause(ctx))
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// SetDiskBudget arms (or with limit <= 0 disarms) the disk-byte quota at
+// runtime; Config.DiskBudget does the same at construction. When armed,
+// every block append is charged B·16 bytes against the quota and a rejected
+// append fails the operation with a *ResourceError carrying live usage.
+func (s *System) SetDiskBudget(limit int64) { s.ctx.Disk().SetDiskBudget(limit) }
+
+// DiskBudget returns the configured disk-byte quota, 0 when unbounded.
+func (s *System) DiskBudget() int64 { return s.ctx.Disk().DiskBudget() }
+
+// DiskBytes returns the bytes currently charged against the disk budget
+// (live blocks times B·16).
+func (s *System) DiskBytes() int64 { return s.ctx.Disk().DiskBytes() }
+
+// PeakDiskBytes returns the high-water mark of DiskBytes.
+func (s *System) PeakDiskBytes() int64 { return s.ctx.Disk().PeakDiskBytes() }
 
 // Ctx exposes the underlying context for advanced use (direct access to the
 // internal packages).
@@ -474,16 +581,43 @@ func (s *System) Stage(elems []Elem) *File {
 // the harness-side output channel.
 func (s *System) Read(f *File) []Elem { return f.Snapshot() }
 
+// guard runs one algorithm operation with failure teardown: scratch files
+// the operation created are released when it errors out, so a cancelled or
+// quota-rejected job leaves no dangling disk footprint (the leak detector
+// stays clean, and a long-lived process can keep using the System). Outputs
+// only escape through the success path, so nothing reachable is released.
+func guard[T any](s *System, fn func() (T, error)) (T, error) {
+	snap := s.ctx.Disk().ScratchSnapshot()
+	out, err := fn()
+	if err != nil {
+		s.ctx.Disk().ReleaseScratchSince(snap)
+		var zero T
+		return zero, err
+	}
+	return out, nil
+}
+
 // Sort external-merge-sorts f into a new file:
 // O((N/B) lg_{M/B}(N/B)) I/Os. The baseline against which everything else is
 // compared. With Workers > 0 the parallel engine runs it over sharded
 // sub-disks; the output is byte-identical either way (the sorted sequence is
 // unique) and the logical accounting is identical across worker counts.
 func (s *System) Sort(f *File) (*File, error) {
-	if s.par != nil {
-		return s.par.Sort(f)
-	}
-	return extsort.Sort(s.ctx, f)
+	return guard(s, func() (*File, error) {
+		if s.par != nil {
+			return s.par.Sort(f)
+		}
+		return extsort.Sort(s.ctx, f)
+	})
+}
+
+// SortContext is Sort bound to a context: cancelling ctx cancels the running
+// sort, which returns a *CancelledError wrapping the context's cause. Every
+// algorithm method has such a variant; they are shorthand for
+// defer s.BindContext(ctx)() around the plain call.
+func (s *System) SortContext(ctx context.Context, f *File) (*File, error) {
+	defer s.BindContext(ctx)()
+	return s.Sort(f)
 }
 
 // DistributionSort sorts f by Aggarwal-Vitter distribution (splitter-based
@@ -491,60 +625,124 @@ func (s *System) Sort(f *File) (*File, error) {
 // built on the paper's approximate-splitter machinery. With Workers > 0 it
 // routes through the parallel engine (see internal/distsort's package doc).
 func (s *System) DistributionSort(f *File) (*File, error) {
-	if s.par != nil {
-		return s.par.Sort(f)
-	}
-	return distsort.Sort(s.ctx, f)
+	return guard(s, func() (*File, error) {
+		if s.par != nil {
+			return s.par.Sort(f)
+		}
+		return distsort.Sort(s.ctx, f)
+	})
+}
+
+// DistributionSortContext is DistributionSort bound to a context.
+func (s *System) DistributionSortContext(ctx context.Context, f *File) (*File, error) {
+	defer s.BindContext(ctx)()
+	return s.DistributionSort(f)
 }
 
 // Select returns the element of the given 1-based rank in O(N/B) I/Os.
 func (s *System) Select(f *File, rank int64) (Elem, error) {
-	return emsel.Select(s.ctx, f, rank)
+	return guard(s, func() (Elem, error) {
+		return emsel.Select(s.ctx, f, rank)
+	})
+}
+
+// SelectContext is Select bound to a context.
+func (s *System) SelectContext(ctx context.Context, f *File, rank int64) (Elem, error) {
+	defer s.BindContext(ctx)()
+	return s.Select(f, rank)
 }
 
 // MultiSelect returns the elements of the given nondecreasing ranks, in rank
 // order, in O((N/B) lg_{M/B}(K/B)) I/Os (Theorem 4).
 func (s *System) MultiSelect(f *File, ranks []int64) (*File, error) {
-	return msel.Select(s.ctx, f, ranks)
+	return guard(s, func() (*File, error) {
+		return msel.Select(s.ctx, f, ranks)
+	})
+}
+
+// MultiSelectContext is MultiSelect bound to a context.
+func (s *System) MultiSelectContext(ctx context.Context, f *File, ranks []int64) (*File, error) {
+	defer s.BindContext(ctx)()
+	return s.MultiSelect(f, ranks)
 }
 
 // MultiPartition divides f into partitions of the prescribed sizes
 // (concatenated output) in O((N/B) lg_{M/B} K) I/Os: the Aggarwal-Vitter
 // algorithm, and the baseline Theorem 4 separates multi-selection from.
 func (s *System) MultiPartition(f *File, sizes []int64) (*File, error) {
-	if s.par != nil {
-		return s.par.MultiPartition(f, sizes)
-	}
-	return mpart.Partition(s.ctx, f, sizes)
+	return guard(s, func() (*File, error) {
+		if s.par != nil {
+			return s.par.MultiPartition(f, sizes)
+		}
+		return mpart.Partition(s.ctx, f, sizes)
+	})
+}
+
+// MultiPartitionContext is MultiPartition bound to a context.
+func (s *System) MultiPartitionContext(ctx context.Context, f *File, sizes []int64) (*File, error) {
+	defer s.BindContext(ctx)()
+	return s.MultiPartition(f, sizes)
 }
 
 // Splitters solves approximate K-splitters (Theorem 5): K-1 elements of f
 // whose induced buckets all have sizes in [p.A, p.B].
 func (s *System) Splitters(f *File, p Params) (*File, error) {
-	if s.par != nil {
-		return s.par.Splitters(f, p)
-	}
-	return core.Splitters(s.ctx, f, p)
+	return guard(s, func() (*File, error) {
+		if s.par != nil {
+			return s.par.Splitters(f, p)
+		}
+		return core.Splitters(s.ctx, f, p)
+	})
+}
+
+// SplittersContext is Splitters bound to a context.
+func (s *System) SplittersContext(ctx context.Context, f *File, p Params) (*File, error) {
+	defer s.BindContext(ctx)()
+	return s.Splitters(f, p)
 }
 
 // Partition solves approximate K-partitioning (Theorem 6): K order-respecting
 // partitions with sizes in [p.A, p.B], concatenated.
 func (s *System) Partition(f *File, p Params) (*PartitionResult, error) {
-	if s.par != nil {
-		return s.par.Partition(f, p)
-	}
-	return core.Partition(s.ctx, f, p)
+	return guard(s, func() (*PartitionResult, error) {
+		if s.par != nil {
+			return s.par.Partition(f, p)
+		}
+		return core.Partition(s.ctx, f, p)
+	})
+}
+
+// PartitionContext is Partition bound to a context.
+func (s *System) PartitionContext(ctx context.Context, f *File, p Params) (*PartitionResult, error) {
+	defer s.BindContext(ctx)()
+	return s.Partition(f, p)
 }
 
 // PrecisePartition performs exact b-sized partitioning via the §3 reduction
 // (approximate partitioning plus an O(N/B) re-chunking pass).
 func (s *System) PrecisePartition(f *File, b int64) (*File, error) {
-	return core.PrecisePartitionViaApprox(s.ctx, f, b)
+	return guard(s, func() (*File, error) {
+		return core.PrecisePartitionViaApprox(s.ctx, f, b)
+	})
+}
+
+// PrecisePartitionContext is PrecisePartition bound to a context.
+func (s *System) PrecisePartitionContext(ctx context.Context, f *File, b int64) (*File, error) {
+	defer s.BindContext(ctx)()
+	return s.PrecisePartition(f, b)
 }
 
 // EquiDepthHistogram builds a K-bucket equi-depth histogram with asymmetric
 // relative depth slack (lo below, hi above the ideal N/K); see package
 // internal/histogram.
 func (s *System) EquiDepthHistogram(f *File, k int, lo, hi float64) ([]HistogramBucket, error) {
-	return histogram.EquiDepth(s.ctx, f, k, lo, hi)
+	return guard(s, func() ([]HistogramBucket, error) {
+		return histogram.EquiDepth(s.ctx, f, k, lo, hi)
+	})
+}
+
+// EquiDepthHistogramContext is EquiDepthHistogram bound to a context.
+func (s *System) EquiDepthHistogramContext(ctx context.Context, f *File, k int, lo, hi float64) ([]HistogramBucket, error) {
+	defer s.BindContext(ctx)()
+	return s.EquiDepthHistogram(f, k, lo, hi)
 }

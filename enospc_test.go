@@ -1,0 +1,101 @@
+package empart
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/emio"
+	"repro/internal/workload"
+)
+
+// ENOSPC rows of the fault matrix: a device that reports no-space must fail
+// the job with a typed *ResourceError carrying the live usage, the bounded
+// retry layer must NOT burn attempts on it (full disks do not heal), and the
+// job must tear down scratch and pipeline goroutines exactly as it does on
+// any other failure — across every physical backend.
+
+func TestFaultMatrixENOSPC(t *testing.T) {
+	const n = 1 << 12
+	cfg := Config{M: 1 << 10, B: 1 << 5}
+	elems := workload.Elems(workload.Uniform, n, cfg.B, 0xe205)
+
+	for _, mode := range faultMatrixModes() {
+		t.Run(mode.name, func(t *testing.T) {
+			c := cfg
+			c.Pipeline = mode.pipe
+			c.Retry = Retry{MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond}
+
+			base := emio.NumGoroutines()
+			sys, err := NewFileBacked(c, filepath.Join(t.TempDir(), "full.dat"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := sys.Stage(elems)
+
+			inj := NewInjector(0xe205)
+			inj.FailWriteErr(2, syscall.ENOSPC) // the device fills at the 3rd post-staging write
+			sys.SetInjector(inj)
+
+			_, err = sys.Sort(f)
+			if err == nil {
+				t.Fatal("sort on a full device succeeded")
+			}
+			var re *ResourceError
+			if !errors.As(err, &re) {
+				t.Fatalf("got %T (%v), want *ResourceError", err, err)
+			}
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Errorf("error does not unwrap to ENOSPC: %v", err)
+			}
+			if errors.Is(err, ErrDiskBudget) {
+				t.Errorf("device ENOSPC misreported as model budget rejection: %v", err)
+			}
+			if re.Used <= 0 {
+				t.Errorf("ResourceError.Used = %d, want live usage > 0", re.Used)
+			}
+			if rs := sys.RetryStats(); rs.Retries != 0 {
+				t.Errorf("retry layer retried ENOSPC %d times; it must be permanent", rs.Retries)
+			}
+
+			emio.RequireNoLeaks(t, sys.Ctx())
+			if err := sys.Close(); err != nil {
+				t.Errorf("close after ENOSPC: %v", err)
+			}
+			emio.RequireNoGoroutineLeaks(t, base)
+		})
+	}
+}
+
+// TestFaultMatrixENOSPCMem runs the same row on the memory backend: the
+// injector models exhaustion at the store layer, so even a RAM-disk job
+// fails typed rather than panicking or miscounting.
+func TestFaultMatrixENOSPCMem(t *testing.T) {
+	cfg := Config{M: 1 << 10, B: 1 << 5}
+	cfg.Retry = Retry{MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	f := sys.Stage(workload.Elems(workload.Uniform, 1<<12, cfg.B, 0xe205))
+
+	inj := NewInjector(0xe205)
+	inj.FailWriteErr(2, syscall.ENOSPC)
+	sys.SetInjector(inj)
+
+	_, err = sys.Sort(f)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %T (%v), want *ResourceError", err, err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("error does not unwrap to ENOSPC: %v", err)
+	}
+	if rs := sys.RetryStats(); rs.Retries != 0 {
+		t.Errorf("retry layer retried ENOSPC %d times", rs.Retries)
+	}
+	emio.RequireNoLeaks(t, sys.Ctx())
+}

@@ -39,6 +39,13 @@ type Config struct {
 	Checksum bool  // verify per-block CRC32C checksums on every read
 	Retry    Retry // bounded retry of transient physical-transfer failures
 
+	// DiskBudget bounds the job's live disk footprint (scratch plus staged
+	// inputs and outputs) in bytes; 0 leaves the model's disk unbounded.
+	// Appends that would exceed it fail with a typed *ResourceError, after
+	// extsort has degraded gracefully (narrower merge fan, consuming reads —
+	// more passes, still within the paper's O(n/B·log_{M/B}) bound).
+	DiskBudget int64
+
 	Log LogConfig // structured event log (ring + JSON-lines + extra handler)
 }
 
@@ -136,6 +143,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("%w: workers %d < 0", ErrBadConfig, c.Workers)
+	}
+	if c.DiskBudget < 0 {
+		return fmt.Errorf("%w: disk budget %d < 0", ErrBadConfig, c.DiskBudget)
 	}
 	if err := c.Retry.validate(); err != nil {
 		return err

@@ -47,6 +47,9 @@ func applyResilience(d *Disk, cfg Config) {
 	if cfg.Retry.Enabled() {
 		d.SetRetry(cfg.Retry)
 	}
+	if cfg.DiskBudget > 0 {
+		d.SetDiskBudget(cfg.DiskBudget)
+	}
 }
 
 // applyLog arms the structured event log when the configuration asks for one.
@@ -114,6 +117,13 @@ func (c *Ctx) Mem() *Accountant { return c.mem }
 
 // Rng returns the context's deterministic random source.
 func (c *Ctx) Rng() *rand.Rand { return c.rng }
+
+// Err returns the job's cancellation state — nil while live, the
+// *CancelledError once Disk.Cancel has been called. Algorithms with long
+// compute stretches between I/Os (an in-memory sort of an M-element run)
+// poll it so a cancel still lands promptly; pure I/O loops need no explicit
+// checks, since every block transfer tests the same flag.
+func (c *Ctx) Err() error { return c.disk.Cancelled() }
 
 // SetSeed reseeds the context's random source.
 func (c *Ctx) SetSeed(s1, s2 uint64) { c.rng = rand.New(rand.NewPCG(s1, s2)) }

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"slices"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/emio/metrics"
 )
@@ -77,6 +78,13 @@ type Disk struct {
 	checksum bool
 	retry    *retrier
 	inj      atomic.Pointer[Injector]
+
+	// Job-lifecycle state, shared with shard sub-disks: the cooperative
+	// cancellation cell (see cancel.go) and the disk-byte accountant (see
+	// resource.go). Both are allocated by the constructors; a cancel or a
+	// budget charge on any shard is visible to all of them.
+	cancel *cancelCell
+	budget *diskBudget
 }
 
 // ErrReleased is returned when accessing a File whose storage was released.
@@ -92,7 +100,8 @@ func NewDisk(blockSize int) *Disk {
 		panic(fmt.Sprintf("emio.NewDisk: block size %d < 1", blockSize))
 	}
 	return &Disk{blockSize: blockSize, store: newMemStore(),
-		id: fmt.Sprintf("mem-%d", diskSeq.Add(1))}
+		id:     fmt.Sprintf("mem-%d", diskSeq.Add(1)),
+		cancel: &cancelCell{}, budget: &diskBudget{}}
 }
 
 // NewFileBackedDisk creates a disk whose blocks live in a real file at path
@@ -107,18 +116,32 @@ func NewFileBackedDisk(path string, blockSize int) (*Disk, error) {
 // physical I/O scheduling (wall-clock speed); logical I/O counters, fault
 // hooks, tracing and outputs are bit-identical with the pipeline on or off.
 func NewFileBackedDiskPipeline(path string, blockSize int, p Pipeline) (*Disk, error) {
+	return newFileBackedDisk(path, blockSize, p, false)
+}
+
+// NewFileBackedDiskResume is NewFileBackedDiskPipeline without the truncate:
+// it opens an existing backing file in place, for crash-resume. The caller
+// must re-adopt journaled manifests with AdoptFile before performing writes —
+// until adoption raises the append cursor, fresh allocations would land on
+// the old data.
+func NewFileBackedDiskResume(path string, blockSize int, p Pipeline) (*Disk, error) {
+	return newFileBackedDisk(path, blockSize, p, true)
+}
+
+func newFileBackedDisk(path string, blockSize int, p Pipeline, keep bool) (*Disk, error) {
 	if blockSize < 1 {
 		return nil, fmt.Errorf("emio: block size %d < 1", blockSize)
 	}
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	st, err := newFileStore(path, blockSize, p)
+	st, err := newFileStore(path, blockSize, p, keep)
 	if err != nil {
 		return nil, err
 	}
 	d := &Disk{blockSize: blockSize, store: st,
-		id: fmt.Sprintf("file-%d", diskSeq.Add(1))}
+		id:     fmt.Sprintf("file-%d", diskSeq.Add(1)),
+		cancel: &cancelCell{}, budget: &diskBudget{}}
 	// Back-pointer for the resilience layer (retry + fault injection around
 	// physical transfers). Set before any I/O, so the store's channel
 	// handoffs order it ahead of every pipeline goroutine that reads it.
@@ -215,15 +238,71 @@ func (d *Disk) ID() string { return d.id }
 
 // Close releases backend resources (the backing file for file-backed disks;
 // a no-op for memory-backed ones) and closes an owned event log's file sink.
+// Teardown failures are joined, never masked: a sticky write-behind error
+// surfacing here is reported alongside — not instead of — a log-sink failure.
 func (d *Disk) Close() error {
 	err := d.store.close()
 	if d.elog != nil {
 		d.log(slog.LevelDebug, "disk closed")
-		if cerr := d.elog.Close(); err == nil {
-			err = cerr
-		}
+		err = joinErr(err, d.elog.Close())
 	}
 	return err
+}
+
+// backingSyncer is the optional store capability behind Disk.SyncBacking.
+type backingSyncer interface{ syncBacking() error }
+
+// SyncBacking drains every pending write-behind block and fsyncs the backing
+// file: the durability barrier the checkpoint layer places before journaling
+// a phase record. A no-op (nil) for memory-backed disks.
+func (d *Disk) SyncBacking() error {
+	if s, ok := d.store.(backingSyncer); ok {
+		return s.syncBacking()
+	}
+	return nil
+}
+
+// backingWritebackKicker is the store capability behind
+// StartBackingFlusher: initiate (not await) writeback of the backing fd's
+// dirty pages, safe to call from a goroutine other than the algorithm's.
+type backingWritebackKicker interface{ kickBackingWriteback() }
+
+// StartBackingFlusher launches a goroutine that nudges the kernel every
+// interval to start writing the backing file's dirty pages to the device
+// (sync_file_range, asynchronous — never an fsync, which would stall the
+// writer). The device thus absorbs each phase's output concurrently with
+// the computation, and the checkpoint layer's FullSync durability barriers
+// (SyncBacking) wait only for writeback already in flight instead of
+// flushing a whole phase's output cold — this is what keeps the power-loss
+// grade's wall overhead at roughly the device's bandwidth deficit rather
+// than a per-barrier stall. Strictly physical: logical I/O accounting,
+// outputs and traces are untouched, and durability never depends on the
+// flusher (the barrier fsync is the guarantee). The returned stop function
+// halts the flusher; for memory-backed disks it is a no-op.
+func (d *Disk) StartBackingFlusher(interval time.Duration) (stop func()) {
+	s, ok := d.store.(backingWritebackKicker)
+	if !ok {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				s.kickBackingWriteback()
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
 }
 
 // BlockSize returns the block size B in elements.
@@ -470,4 +549,36 @@ func (d *Disk) LiveScratchFiles() []string {
 	}
 	slices.Sort(out)
 	return out
+}
+
+// ScratchSnapshot captures the set of currently live scratch files. Paired
+// with ReleaseScratchSince it is the facade's error-path teardown guard: an
+// algorithm that fails (cancellation, quota, a device fault) abandons its
+// scratch mid-phase, and the guard releases exactly the files created since
+// the snapshot.
+func (d *Disk) ScratchSnapshot() map[*File]struct{} {
+	snap := make(map[*File]struct{})
+	for f := range d.liveFiles {
+		if f.scratch {
+			snap[f] = struct{}{}
+		}
+	}
+	return snap
+}
+
+// ReleaseScratchSince releases every live scratch file not present in a
+// ScratchSnapshot taken earlier, returning how many were reclaimed.
+func (d *Disk) ReleaseScratchSince(snap map[*File]struct{}) int {
+	var doomed []*File
+	for f := range d.liveFiles {
+		if f.scratch {
+			if _, ok := snap[f]; !ok {
+				doomed = append(doomed, f)
+			}
+		}
+	}
+	for _, f := range doomed {
+		f.Release()
+	}
+	return len(doomed)
 }

@@ -84,6 +84,22 @@ func (e *FaultError) Unwrap() error { return e.Err }
 // wraps its transient faults with it.
 var ErrTransient = errors.New("emio: transient fault")
 
+// joinErr joins two teardown errors without masking either. When only one is
+// non-nil it is returned bare (typed assertions and message text stay
+// unchanged on the single-failure path); when the second is already in the
+// first's chain it is not duplicated; otherwise both are joined so neither a
+// sticky I/O error nor a close failure can swallow the other.
+func joinErr(a, b error) error {
+	switch {
+	case a == nil:
+		return b
+	case b == nil || errors.Is(a, b):
+		return a
+	default:
+		return errors.Join(a, b)
+	}
+}
+
 // isTransient reports whether a physical-transfer error is worth retrying:
 // anything explicitly marked with ErrTransient, plus the interrupted/busy
 // syscall conditions a real device can return.

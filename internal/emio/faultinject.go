@@ -48,6 +48,11 @@ type Injector struct {
 	pPermanent float64 // probability of a permanent episode per transfer
 	burst      int     // max failed attempts of one probabilistic transient episode
 
+	// crashHook runs when a crash-point schedule (CrashRead/CrashWrite)
+	// fires; nil means the default, which SIGKILLs the process — the crash
+	// harness's scripted "power cut". Tests replace it with SetCrashHook.
+	crashHook func(op string, idx int64)
+
 	stats InjectorStats
 }
 
@@ -79,6 +84,35 @@ func (inj *Injector) FailRead(op int64, times int) { inj.schedule(opRead, op, ti
 // FailWrite is FailRead for physical writes.
 func (inj *Injector) FailWrite(op int64, times int) { inj.schedule(opWrite, op, times) }
 
+// FailReadErr schedules the op'th physical read to fail permanently with the
+// given cause as the underlying error — the errno schedule: a cause of
+// syscall.ENOSPC models a full device, and the store layer wraps the failure
+// into a typed *ResourceError exactly as it would a real ENOSPC. The cause
+// is not marked transient, so the retry layer never spends attempts on it.
+func (inj *Injector) FailReadErr(op int64, cause error) { inj.scheduleErr(opRead, op, cause) }
+
+// FailWriteErr is FailReadErr for physical writes.
+func (inj *Injector) FailWriteErr(op int64, cause error) { inj.scheduleErr(opWrite, op, cause) }
+
+// CrashRead schedules the crash hook to fire at the op'th physical read: the
+// crash-point schedule of the kill-resume harness. The default hook SIGKILLs
+// the process — no deferred cleanup, no flushes, the closest software
+// approximation of a power cut.
+func (inj *Injector) CrashRead(op int64) { inj.scheduleCrash(opRead, op) }
+
+// CrashWrite is CrashRead for physical writes.
+func (inj *Injector) CrashWrite(op int64) { inj.scheduleCrash(opWrite, op) }
+
+// SetCrashHook replaces the process-kill default for crash-point schedules
+// (tests observe the crash point instead of dying). A hook that returns
+// fails the attempt permanently with ErrInjected, so the schedule stays
+// visible in the error flow.
+func (inj *Injector) SetCrashHook(h func(op string, idx int64)) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.crashHook = h
+}
+
 func (inj *Injector) schedule(kind ioOp, op int64, times int) {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
@@ -87,6 +121,28 @@ func (inj *Injector) schedule(kind ioOp, op int64, times int) {
 		remaining: times, permanent: times < 0,
 	}
 }
+
+func (inj *Injector) scheduleErr(kind ioOp, op int64, cause error) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.plans[kind][op] = &plannedFault{
+		inj: inj, kind: kind, op: op,
+		permanent: true, cause: cause,
+	}
+}
+
+func (inj *Injector) scheduleCrash(kind ioOp, op int64) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.plans[kind][op] = &plannedFault{
+		inj: inj, kind: kind, op: op, crash: true,
+	}
+}
+
+// defaultCrashHook (faultinject_unix.go / faultinject_other.go) is the
+// scripted "power cut": SIGKILL leaves no chance for deferred cleanup,
+// buffered flushes or journal appends — exactly the crash model
+// checkpoint/resume must survive.
 
 // Probabilistic arms seeded random fault generation: each physical transfer
 // independently draws a permanent episode with probability pPermanent, else a
@@ -138,6 +194,8 @@ type plannedFault struct {
 	op        int64
 	remaining int
 	permanent bool
+	cause     error // errno schedules: underlying error of a permanent fault
+	crash     bool  // crash-point schedules: fire the crash hook instead
 }
 
 // next is consulted once per attempt of the bound transfer; nil receivers
@@ -147,9 +205,23 @@ func (pf *plannedFault) next() error {
 		return nil
 	}
 	pf.inj.mu.Lock()
+	if pf.crash {
+		// Call the hook outside the lock: the default never returns, and a
+		// test hook may legitimately touch the injector.
+		hook := pf.inj.crashHook
+		pf.inj.mu.Unlock()
+		if hook == nil {
+			hook = defaultCrashHook
+		}
+		hook(pf.kind.String(), pf.op)
+		return fmt.Errorf("%w: crash point at %s op #%d", ErrInjected, pf.kind, pf.op)
+	}
 	defer pf.inj.mu.Unlock()
 	if pf.permanent {
 		pf.inj.stats.Permanent++
+		if pf.cause != nil {
+			return fmt.Errorf("%w: %w at %s op #%d", ErrInjected, pf.cause, pf.kind, pf.op)
+		}
 		return fmt.Errorf("%w: permanent %s fault at op #%d", ErrInjected, pf.kind, pf.op)
 	}
 	if pf.remaining <= 0 {

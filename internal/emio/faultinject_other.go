@@ -1,0 +1,12 @@
+//go:build !unix
+
+package emio
+
+import "os"
+
+// defaultCrashHook approximates the unix SIGKILL "power cut" on platforms
+// without self-signalling: an immediate exit that skips deferred cleanup and
+// buffered flushes. The crash harness itself only runs on unix hosts.
+func defaultCrashHook(string, int64) {
+	os.Exit(137)
+}

@@ -1,0 +1,13 @@
+//go:build unix
+
+package emio
+
+import "syscall"
+
+// defaultCrashHook is the scripted "power cut": SIGKILL leaves no chance for
+// deferred cleanup, buffered flushes or journal appends — exactly the crash
+// model checkpoint/resume must survive.
+func defaultCrashHook(string, int64) {
+	syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+	select {} // unreachable: SIGKILL cannot be caught or delayed
+}

@@ -26,8 +26,13 @@ type File struct {
 	scratch  bool // created through Ctx.Scratch (leak-detector relevant)
 
 	mem     [][]Elem // memStore payloads
-	extents []int64  // fileStore block offsets
+	extents []int64  // fileStore block offsets (-1 = reclaimed by ReleasePrefix)
 	sums    []uint32 // per-block CRC32C sidecar (disks with checksums armed)
+
+	// freed counts the blocks [0, freed) whose storage was reclaimed by
+	// ReleasePrefix while the file's tail stays readable (consuming reads,
+	// the disk-budget degradation path of merges).
+	freed int
 
 	// View metadata (see Disk.NewView): a view is a read-only window onto a
 	// contiguous block range of another disk's file. viewSrc is the backing
@@ -72,14 +77,51 @@ func (f *File) Release() {
 	f.disk.store.release(f)
 	if f.viewSrc == nil {
 		// Views own no blocks: they were registered without noteAlloc, so
-		// releasing one must not lower the footprint either.
-		f.disk.noteFree(int64(f.nblocks))
+		// releasing one must not lower the footprint either. Blocks already
+		// reclaimed by ReleasePrefix were credited there.
+		live := int64(f.nblocks - f.freed)
+		f.disk.noteFree(live)
+		f.disk.creditBlocks(live)
 	}
 	f.disk.noteRelease(f)
 	f.n = 0
 	f.nblocks = 0
+	f.freed = 0
 	f.sums = nil
 	f.released = true
+}
+
+// ReleasePrefix reclaims the storage of blocks [0, upTo) while the file's
+// tail stays readable: the consuming-read primitive behind budget-bounded
+// merges, where each input run is read exactly once and its consumed blocks
+// can be returned to the allocator as the merge advances. Reading a
+// reclaimed block fails with ErrReleased. Costs no I/O (deallocation is
+// metadata work, like Release).
+//
+// The caller guarantees the reclaimed blocks are settled (no pending
+// write-behind) and strictly behind any live read-ahead window — the
+// consuming Reader enforces a lag of the disk's prefetch depth plus one.
+// No-op on views, released files and stores without extent-granular
+// reclamation (shard sub-disks).
+func (f *File) ReleasePrefix(upTo int) {
+	if f.released || f.viewSrc != nil {
+		return
+	}
+	if upTo > f.nblocks {
+		upTo = f.nblocks
+	}
+	if upTo <= f.freed {
+		return
+	}
+	pr, ok := f.disk.store.(prefixReleaser)
+	if !ok {
+		return
+	}
+	pr.releaseRange(f, f.freed, upTo)
+	n := int64(upTo - f.freed)
+	f.freed = upTo
+	f.disk.noteFree(n)
+	f.disk.creditBlocks(n)
 }
 
 // blockLen returns the element count of block i without bounds checking:
@@ -133,6 +175,15 @@ func (f *File) readBlockAhead(i int, buf []Elem, ahead int) (int, error) {
 	}
 	if i < 0 || i >= f.nblocks {
 		return 0, fmt.Errorf("%w: block %d of %d in %s", ErrBlockRange, i, f.nblocks, f.name)
+	}
+	if i < f.freed {
+		return 0, fmt.Errorf("%w: block %d of %s consumed by ReleasePrefix", ErrReleased, i, f.name)
+	}
+	// Cancellation lands here, before the transfer is counted: a cancelled
+	// read never happened in the model, and the caller unwinds within one
+	// block-transfer latency of the flag flipping.
+	if err := f.disk.checkCancel(); err != nil {
+		return 0, err
 	}
 	f.disk.stats.Reads++
 	f.disk.noteRead(f, i)
@@ -212,11 +263,21 @@ func (f *File) AppendBlock(payload []Elem) error {
 	if f.sealed {
 		return fmt.Errorf("%w (%s)", ErrPartialBlock, f.name)
 	}
+	// Admission checks, before the transfer is counted: cancellation (a
+	// cancelled write never happened in the model) and the disk-byte budget
+	// (a rejected append consumed no space and no I/O).
+	if err := f.disk.checkCancel(); err != nil {
+		return err
+	}
+	if err := f.disk.chargeAppend(f); err != nil {
+		return err
+	}
 	f.disk.stats.Writes++
 	if hook := f.disk.writeFault; hook != nil {
 		if err := hook(f, f.nblocks); err != nil {
 			f.disk.log(slog.LevelWarn, "injected write fault",
 				slog.String("file", f.name), slog.Int("block", f.nblocks))
+			f.disk.creditBlocks(1)
 			return &FaultError{Op: "write", File: f.name, Block: f.nblocks, Off: -1, Err: err}
 		}
 	}
@@ -238,6 +299,8 @@ func (f *File) AppendBlock(payload []Elem) error {
 		m.logWriteNS.ObserveEx(int64(time.Since(t0)), m.curSeq.Load())
 	}
 	if err != nil {
+		// The block never landed; return its budget reservation.
+		f.disk.creditBlocks(1)
 		return &FaultError{Op: "write", File: f.name, Block: f.nblocks, Off: -1, Err: err}
 	}
 	if f.disk.checksum {

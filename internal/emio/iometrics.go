@@ -36,6 +36,12 @@ type IOMetrics struct {
 	logReadNS, logWriteNS *metrics.HistogramHandle
 	corruptions           *metrics.CounterHandle // checksum mismatches surfaced to readers
 
+	// Job-lifecycle events: cooperative cancellations and disk-quota
+	// rejections. Bumped from whichever goroutine triggers them (a signal
+	// handler for cancels) — handles are goroutine-safe.
+	cancels      *metrics.CounterHandle
+	quotaRejects *metrics.CounterHandle
+
 	// Gauges (single atomics; updated from whichever goroutine owns the
 	// underlying quantity).
 	liveBlocks   *metrics.Gauge
@@ -75,6 +81,10 @@ func newIOMetrics(reg *metrics.Registry) *IOMetrics {
 		"latency of one logical block write (enqueue time under write-behind)", "ns").Handle()
 	m.corruptions = reg.Counter("empart_corruption_detected_total",
 		"block reads rejected by CRC32C checksum verification").Handle()
+	m.cancels = reg.Counter("empart_job_cancels_total",
+		"jobs cancelled cooperatively (signal, context, admission)").Handle()
+	m.quotaRejects = reg.Counter("empart_disk_quota_rejections_total",
+		"block appends rejected by the disk-byte budget").Handle()
 	m.liveBlocks = reg.Gauge("empart_live_disk_blocks",
 		"blocks currently held by unreleased files")
 	m.liveScratch = reg.Gauge("empart_live_scratch_files",

@@ -1,0 +1,154 @@
+package emio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Journal is an append-only crash-safe record log: the durable spine of
+// checkpoint/resume. Each record is framed as
+//
+//	[4B LE magic "EMJ1"] [4B LE payload length] [4B LE CRC32C(payload)] [payload]
+//
+// Append writes a frame and fsyncs, so a record returned as written is
+// durable. AppendLazy writes the frame without the fsync — group commit:
+// a later Append or Sync makes every earlier lazy record durable with one
+// fsync, which is how the checkpoint layer amortizes per-run records into
+// a single phase barrier. Open replays the longest valid prefix and
+// truncates the file after it — the torn-write rule: a crash leaves at
+// most one partial or corrupt trailing frame (plus, for lazy records lost
+// to a power cut, a clean missing tail), which the CRC (or a short read,
+// or a bad magic) rejects, and the job resumes from the last record that
+// survived. Payloads are opaque bytes; the extsort checkpoint layer
+// stores JSON phase manifests in them.
+type Journal struct {
+	fd   *os.File
+	path string
+	off  int64 // byte offset of the durable end (next record lands here)
+	recs int   // records in the journal, replayed + appended
+}
+
+const (
+	journalMagic   = 0x314a4d45 // "EMJ1", little-endian
+	journalHdrSize = 12
+	// journalMaxRec bounds one record; larger lengths in a header mean a torn
+	// or corrupt frame, not a real record.
+	journalMaxRec = 1 << 26
+)
+
+// CreateJournal creates (or truncates) a journal at path.
+func CreateJournal(path string) (*Journal, error) {
+	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("emio: create journal: %w", err)
+	}
+	return &Journal{fd: fd, path: path}, nil
+}
+
+// OpenJournal opens the journal at path (creating an empty one if absent),
+// replays every valid record and truncates a torn tail. It returns the
+// journal positioned for appending plus the replayed payloads in append
+// order.
+func OpenJournal(path string) (*Journal, [][]byte, error) {
+	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("emio: open journal: %w", err)
+	}
+	j := &Journal{fd: fd, path: path}
+	recs, err := j.replay()
+	if err != nil {
+		fd.Close()
+		return nil, nil, err
+	}
+	return j, recs, nil
+}
+
+// replay scans records from the head, stopping at the first frame that is
+// short, mis-tagged, oversized or fails its CRC, and truncates the file
+// there. Everything before that point was fsynced by an Append that
+// returned, so stopping at the first bad frame never discards a durable
+// record.
+func (j *Journal) replay() ([][]byte, error) {
+	var out [][]byte
+	var hdr [journalHdrSize]byte
+	off := int64(0)
+	for {
+		if n, err := j.fd.ReadAt(hdr[:], off); err != nil || n < journalHdrSize {
+			break
+		}
+		magic := binary.LittleEndian.Uint32(hdr[0:4])
+		length := binary.LittleEndian.Uint32(hdr[4:8])
+		sum := binary.LittleEndian.Uint32(hdr[8:12])
+		if magic != journalMagic || length > journalMaxRec {
+			break
+		}
+		payload := make([]byte, length)
+		if n, err := j.fd.ReadAt(payload, off+journalHdrSize); err != nil || n < int(length) {
+			break
+		}
+		if crc32.Checksum(payload, castagnoliTable) != sum {
+			break
+		}
+		out = append(out, payload)
+		off += journalHdrSize + int64(length)
+		j.recs++
+	}
+	if err := j.fd.Truncate(off); err != nil {
+		return nil, fmt.Errorf("emio: truncate torn journal tail: %w", err)
+	}
+	j.off = off
+	return out, nil
+}
+
+// Append frames, writes and fsyncs one record. When Append returns nil the
+// record — and every AppendLazy record before it — is durable; when it
+// fails the journal must be considered dead (the tail may be torn) and the
+// job should surface the error rather than journal on.
+func (j *Journal) Append(payload []byte) error {
+	if err := j.AppendLazy(payload); err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// AppendLazy frames and writes one record without fsyncing it: the record
+// survives a process crash (the page cache outlives the process) but not
+// necessarily a power cut until a later Append or Sync commits it. The
+// checkpoint layer uses this for per-run records, paying one fsync at the
+// phase barrier instead of one per run.
+func (j *Journal) AppendLazy(payload []byte) error {
+	if len(payload) > journalMaxRec {
+		return fmt.Errorf("emio: journal record of %d bytes exceeds limit %d", len(payload), journalMaxRec)
+	}
+	rec := make([]byte, journalHdrSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], journalMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[8:12], crc32.Checksum(payload, castagnoliTable))
+	copy(rec[journalHdrSize:], payload)
+	if _, err := j.fd.WriteAt(rec, j.off); err != nil {
+		return fmt.Errorf("emio: journal append: %w", err)
+	}
+	j.off += int64(len(rec))
+	j.recs++
+	return nil
+}
+
+// Sync fsyncs the journal, committing every lazily appended record.
+func (j *Journal) Sync() error {
+	if err := j.fd.Sync(); err != nil {
+		return fmt.Errorf("emio: journal fsync: %w", err)
+	}
+	return nil
+}
+
+// Records returns the number of valid records in the journal (replayed plus
+// appended).
+func (j *Journal) Records() int { return j.recs }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.fd.Close() }

@@ -424,7 +424,15 @@ func (s *fileStore) completeOps(ops []batchOp, err error) {
 	for _, op := range ops {
 		if err != nil {
 			if a.fileErr[op.f] == nil {
-				se := &stickyErr{err: storeWriteError(op.f.name, op.off, err)}
+				se := &stickyErr{err: storeWriteError(s.disk, op.f.name, op.off, err)}
+				if errors.Is(err, ErrCancelled) {
+					// A write abandoned because the job was cancelled is an
+					// expected teardown outcome, not a lost-data signal: keep
+					// it sticky so the next operation on the file fails fast,
+					// but never resurface it at Disk.Close after the job has
+					// already reported the cancellation.
+					se.delivered = true
+				}
 				a.fileErr[op.f] = se
 				a.errs = append(a.errs, se)
 				if d := s.disk; d != nil {

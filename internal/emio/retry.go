@@ -186,6 +186,14 @@ func (d *Disk) runPhys(op ioOp, fname string, off int64, fn func() error) error 
 		maxAttempts = r.pol.MaxAttempts
 	}
 	for attempt := 1; ; attempt++ {
+		// Cancellation bounds the retry loop: a cancel flag flipped during a
+		// backoff storm aborts before the next attempt, on whichever
+		// goroutine (algorithm, write worker, prefetch) runs the transfer.
+		if d != nil {
+			if cerr := d.checkCancel(); cerr != nil {
+				return cerr
+			}
+		}
 		err := pf.next()
 		if err == nil {
 			err = fn()

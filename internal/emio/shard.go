@@ -61,7 +61,7 @@ func (s *memStore) appendShared(d *Disk, f *File, payload []Elem, _ []byte) erro
 	if d.Injector() != nil {
 		off := int64(len(f.mem)) * int64(d.blockSize) * elemBytes
 		if err := d.runPhys(opWrite, f.name, off, func() error { return nil }); err != nil {
-			return storeWriteError(f.name, off, err)
+			return storeWriteError(d, f.name, off, err)
 		}
 	}
 	blk := s.takeBlock(len(payload), d.blockSize)
@@ -108,7 +108,7 @@ func (s *fileStore) appendShared(d *Disk, f *File, payload []Elem, scratch []byt
 	clear(raw[nbytes:])
 	if err := s.physWriteOn(d, f.name, raw, off); err != nil {
 		s.freeExtent(off, pn)
-		return storeWriteError(f.name, off, err)
+		return storeWriteError(d, f.name, off, err)
 	}
 	if sm := s.sm.Load(); sm != nil {
 		sm.writeRunBlocks.Observe(1)
@@ -121,6 +121,9 @@ func (s *fileStore) releaseShared(f *File) {
 	// Shard files never enter the write-behind queue, so there is nothing to
 	// drain; just return the extents to the shared allocator.
 	for i, off := range f.extents {
+		if off < 0 {
+			continue // reclaimed by ReleasePrefix
+		}
 		s.freeExtent(off, s.extentBytes(f, i))
 	}
 	f.extents = nil
@@ -199,6 +202,10 @@ func (d *Disk) NewShard(k int) (*Disk, error) {
 		id:        fmt.Sprintf("%s/shard-%d", d.id, k),
 		checksum:  d.checksum,
 		retry:     d.retry,
+		// One job, one cancel flag, one disk budget: a cancel or a quota hit
+		// on any shard stops (or rejects on) all of them.
+		cancel: d.cancel,
+		budget: d.budget,
 	}, nil
 }
 

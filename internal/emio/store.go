@@ -1,10 +1,12 @@
 package emio
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -56,6 +58,12 @@ type (
 	metricsSink interface {
 		setMetrics(m *IOMetrics)
 	}
+	// prefixReleaser is implemented by stores with block-granular storage
+	// reclamation; releaseRange drops the storage of f's blocks [lo, hi)
+	// while the rest of the file stays readable (see File.ReleasePrefix).
+	prefixReleaser interface {
+		releaseRange(f *File, lo, hi int)
+	}
 )
 
 // memStore keeps blocks as slices hanging off the File, recycling released
@@ -97,7 +105,7 @@ func (s *memStore) append(f *File, payload []Elem) error {
 	if d := f.disk; d.Injector() != nil {
 		off := int64(len(f.mem)) * int64(d.blockSize) * elemBytes
 		if err := d.runPhys(opWrite, f.name, off, func() error { return nil }); err != nil {
-			return storeWriteError(f.name, off, err)
+			return storeWriteError(f.disk, f.name, off, err)
 		}
 	}
 	blk := s.takeBlock(len(payload), f.disk.blockSize)
@@ -131,6 +139,20 @@ func (s *memStore) release(f *File) {
 	f.mem = nil
 }
 
+// releaseRange recycles the block slices of [lo, hi) while the tail stays
+// readable (File.ReleasePrefix). Reclaimed entries are nilled; the final
+// release skips them via the cap check above.
+func (s *memStore) releaseRange(f *File, lo, hi int) {
+	s.mu.Lock()
+	for i := lo; i < hi; i++ {
+		if blk := f.mem[i]; cap(blk) > 0 && len(s.free) < maxMemFreeBlocks {
+			s.free = append(s.free, blk)
+		}
+		f.mem[i] = nil
+	}
+	s.mu.Unlock()
+}
+
 // corruptBlock flips one bit of the stored block image. The in-memory block
 // is held in decoded form, so the on-disk-image bit position is translated
 // through the little-endian record layout.
@@ -159,10 +181,24 @@ func storeReadError(fname string, off int64, err error) error {
 	return &FaultError{Op: "read", File: fname, Block: -1, Off: off, Err: err}
 }
 
-// storeWriteError is storeReadError for writes.
-func storeWriteError(fname string, off int64, err error) error {
+// storeWriteError is storeReadError for writes, plus resource attribution:
+// an ENOSPC from the device (or the injector's errno schedule) is wrapped in
+// a *ResourceError carrying the acting disk's live usage, so the caller sees
+// real disk exhaustion exactly as it sees a model-budget rejection. ENOSPC is
+// not transient, so the retry layer never spends attempts on a full disk.
+func storeWriteError(d *Disk, fname string, off int64, err error) error {
 	if _, ok := err.(*TransientError); ok {
 		return err
+	}
+	if errors.Is(err, syscall.ENOSPC) {
+		var re *ResourceError
+		if !errors.As(err, &re) {
+			var used, budget int64
+			if d != nil && d.budget != nil {
+				used, budget = d.budget.used.Load(), max(d.budget.limit, 0)
+			}
+			err = &ResourceError{Resource: "disk", File: fname, Used: used, Budget: budget, Err: err}
+		}
 	}
 	return &FaultError{Op: "write", File: fname, Block: -1, Off: off, Err: err}
 }
@@ -220,9 +256,15 @@ type fileStore struct {
 	closeErr error
 }
 
-func newFileStore(path string, blockSize int, pipe Pipeline) (*fileStore, error) {
+// newFileStore opens the backing file at path. keep opens an existing file
+// in place (crash-resume: journaled extents are re-adopted, so the bytes
+// must survive the reopen); otherwise the file is created or truncated.
+func newFileStore(path string, blockSize int, pipe Pipeline, keep bool) (*fileStore, error) {
 	direct := pipe.Direct && oDirectFlag != 0
-	flags := os.O_RDWR | os.O_CREATE | os.O_TRUNC
+	flags := os.O_RDWR | os.O_CREATE
+	if !keep {
+		flags |= os.O_TRUNC
+	}
 	if direct {
 		flags |= oDirectFlag
 	}
@@ -494,7 +536,7 @@ func (s *fileStore) append(f *File, payload []Elem) error {
 	clear(raw[nbytes:])
 	if err := s.physWrite(f.name, raw, off); err != nil {
 		s.freeExtent(off, pn)
-		return storeWriteError(f.name, off, err)
+		return storeWriteError(s.disk, f.name, off, err)
 	}
 	if sm := s.sm.Load(); sm != nil {
 		sm.writeRunBlocks.Observe(1)
@@ -565,9 +607,40 @@ func (s *fileStore) release(f *File) {
 		s.dropPrefetch(f)
 	}
 	for i, off := range f.extents {
+		if off < 0 {
+			continue // already reclaimed by ReleasePrefix
+		}
 		s.freeExtent(off, s.extentBytes(f, i))
 	}
 	f.extents = nil
+}
+
+// releaseRange frees the extents of blocks [lo, hi) while the tail stays
+// readable (File.ReleasePrefix). The caller guarantees the blocks are
+// settled and behind any live read-ahead window, so the extents can be
+// reused by the very next append.
+func (s *fileStore) releaseRange(f *File, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if off := f.extents[i]; off >= 0 {
+			s.freeExtent(off, s.extentBytes(f, i))
+			f.extents[i] = -1
+		}
+	}
+}
+
+// adoptFloor raises the append cursor to at least end: the resume-safety
+// invariant of AdoptFile, guaranteeing fresh allocations never land on
+// journaled extents. The direct-mode zero-fill cursor follows so a prewrite
+// can never zero adopted bytes.
+func (s *fileStore) adoptFloor(end int64) {
+	s.amu.Lock()
+	if end > s.end {
+		s.end = end
+	}
+	if end > s.zeroed {
+		s.zeroed = end
+	}
+	s.amu.Unlock()
 }
 
 func (s *fileStore) syncFile(f *File) error {
@@ -577,11 +650,41 @@ func (s *fileStore) syncFile(f *File) error {
 	return s.drainFile(f)
 }
 
+// syncBacking drains the whole write-behind queue and fsyncs the backing
+// file: the checkpoint layer's durability barrier (Disk.SyncBacking). Called
+// on the algorithm goroutine, like drainFile.
+func (s *fileStore) syncBacking() error {
+	if s.async != nil {
+		a := s.async
+		s.flushCur()
+		a.mu.Lock()
+		for len(a.pending) > 0 {
+			a.cond.Wait()
+		}
+		a.mu.Unlock()
+	}
+	if err := s.fd.Sync(); err != nil {
+		return fmt.Errorf("emio: fsync backing file: %w", err)
+	}
+	return nil
+}
+
+// kickBackingWriteback nudges the kernel to start writing the backing
+// file's dirty pages out, without waiting: the background flusher's call
+// (Disk.StartBackingFlusher), safe off the algorithm goroutine. It is
+// deliberately not an fsync — a concurrent fsync of a hot file stalls the
+// writer on stable pages and forces journal commits; sync_file_range does
+// neither, and the checkpoint barrier's real fsync settles what remains.
+func (s *fileStore) kickBackingWriteback() { kickWriteback(s.fd.Fd()) }
+
 func (s *fileStore) close() error {
 	if s.closed {
 		return s.closeErr
 	}
 	s.closed = true
+	// Teardown failures are joined, never masked: an undelivered sticky
+	// write-behind error and a close failure of the ring or fd are distinct
+	// problems, and reporting the first must not swallow the others.
 	var err error
 	if s.async != nil {
 		err = s.stopAsync()
@@ -589,13 +692,9 @@ func (s *fileStore) close() error {
 	if s.ring != nil {
 		// After stopAsync no transfer is in flight; closing the ring joins the
 		// completion reaper before the backing fd goes away.
-		if rerr := s.ring.close(); err == nil {
-			err = rerr
-		}
+		err = joinErr(err, s.ring.close())
 	}
-	if cerr := s.fd.Close(); err == nil {
-		err = cerr
-	}
+	err = joinErr(err, s.fd.Close())
 	s.closeErr = err
 	return err
 }

@@ -1,0 +1,18 @@
+//go:build linux && (amd64 || arm64 || riscv64)
+
+package emio
+
+import "syscall"
+
+// kickWriteback asks the kernel to start writing the file's dirty pages to
+// the device without waiting for them — sync_file_range(2) with
+// SYNC_FILE_RANGE_WRITE over the whole file. Unlike fsync it neither blocks
+// on the data nor forces a filesystem journal commit, so the background
+// flusher can call it on a hot file without stalling the writer; the
+// checkpoint barrier's real fsync then only waits for writeback that is
+// already in flight. Purely advisory: errors (and unsupported filesystems)
+// are ignored, correctness always rests on the barrier fsync.
+func kickWriteback(fd uintptr) {
+	const syncFileRangeWrite = 0x2
+	syscall.Syscall6(syscall.SYS_SYNC_FILE_RANGE, fd, 0, 0, syncFileRangeWrite, 0, 0)
+}

@@ -1,0 +1,8 @@
+//go:build !linux || !(amd64 || arm64 || riscv64)
+
+package emio
+
+// kickWriteback is a no-op where sync_file_range(2) is unavailable: the
+// background flusher degrades to doing nothing and the checkpoint barrier's
+// fsync pays the full residual, which is correct, just slower.
+func kickWriteback(uintptr) {}

@@ -57,21 +57,20 @@ func (w *Writer) Flush() error {
 func (w *Writer) Err() error { return w.err }
 
 // Close flushes, waits out any write-behind blocks of the file, and releases
-// the block buffer. It is safe to call twice; the first error encountered by
-// the Writer — including an asynchronous physical write failure — is
-// returned.
+// the block buffer. It is safe to call twice; every error encountered by the
+// Writer — including an asynchronous physical write failure — is returned.
+// Sync runs even after a failed flush: earlier blocks of the file may be
+// sitting in the write-behind queue with a sticky failure of their own, and
+// a flush error (a cancellation, a quota rejection) must not swallow it.
+// Distinct failures are joined, never masked.
 func (w *Writer) Close() error {
 	if w.buf == nil {
 		return w.err
 	}
-	err := w.Flush()
+	flushErr := w.Flush()
 	w.ctx.FreeElems(w.buf)
 	w.buf = nil
-	if err == nil {
-		if serr := w.f.Sync(); serr != nil {
-			w.err = serr
-			err = serr
-		}
-	}
+	err := joinErr(flushErr, w.f.Sync())
+	w.err = err
 	return err
 }

@@ -48,7 +48,15 @@ func FormRuns(ctx *emio.Ctx, in *emio.File) ([]*emio.File, error) {
 // the already-sorted chunk), which is what lets the later range merges read
 // exact sub-ranges of each run. The callback must not retain or mutate the
 // slice.
-func FormRunsObserved(ctx *emio.Ctx, in *emio.File, observe func(sorted []emio.Elem)) (runs []*emio.File, err error) {
+func FormRunsObserved(ctx *emio.Ctx, in *emio.File, observe func(sorted []emio.Elem)) ([]*emio.File, error) {
+	return formRuns(ctx, in, 0, observe, nil)
+}
+
+// formRuns is the run-formation engine behind FormRuns and the checkpointed
+// sort: it starts the input scan at block startBlk (resume skips the blocks
+// already consumed by journaled runs), and calls onRun after each run file is
+// fully written (the checkpoint layer journals a durable manifest there).
+func formRuns(ctx *emio.Ctx, in *emio.File, startBlk int, observe func(sorted []emio.Elem), onRun func(run *emio.File) error) (runs []*emio.File, err error) {
 	sp := ctx.StartSpan("extsort/form-runs", emio.AttrInt("n", in.Len()))
 	defer func() {
 		sp.SetAttr("runs", int64(len(runs)))
@@ -70,7 +78,7 @@ func FormRunsObserved(ctx *emio.Ctx, in *emio.File, observe func(sorted []emio.E
 	defer ctx.FreeElems(buf)
 
 	nb := in.NumBlocks()
-	for blk := 0; blk < nb; {
+	for blk := startBlk; blk < nb; {
 		fill := 0
 		for blk < nb && fill+b <= runCap {
 			n, err := in.ReadBlockSequential(blk, buf[fill:fill+b])
@@ -82,6 +90,12 @@ func FormRunsObserved(ctx *emio.Ctx, in *emio.File, observe func(sorted []emio.E
 		}
 		if fill == 0 {
 			break
+		}
+		// The in-memory sort of an M-sized chunk is the longest I/O-free
+		// stretch in the whole algorithm; poll cancellation before entering
+		// it so a cancel never waits a full chunk sort.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		chunk := buf[:fill]
 		inmem.Sort(chunk)
@@ -98,6 +112,11 @@ func FormRunsObserved(ctx *emio.Ctx, in *emio.File, observe func(sorted []emio.E
 		}
 		if err := w.Close(); err != nil {
 			return nil, err
+		}
+		if onRun != nil {
+			if err := onRun(run); err != nil {
+				return nil, err
+			}
 		}
 		runs = append(runs, run)
 	}
@@ -123,8 +142,25 @@ func MergeAllWithFanIn(ctx *emio.Ctx, runs []*emio.File, maxFan int) (*emio.File
 	if maxFan > 1 && maxFan < fan {
 		fan = maxFan
 	}
+	// Under a disk-byte budget the merge degrades instead of failing: input
+	// runs are read with consuming readers (each reclaimed block funds a
+	// block of merge output, dropping the peak from ~3N to ~2N plus the
+	// consume lag), and the fan-in shrinks until the transient unreclaimed
+	// window fits the remaining headroom. A narrower fan means more passes —
+	// still within the paper's O((N/B) lg_{M/B}(N/B)) bound, just with a
+	// larger lg base denominator — which is the intended graceful trade.
+	opt := mergeOpts{release: true}
+	if d := ctx.Disk(); d.DiskBudget() > 0 {
+		opt.consume = true
+	}
 	pass := int64(0)
 	for len(runs) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opt.consume {
+			fan = degradeFanIn(ctx.Disk(), fan)
+		}
 		psp := ctx.StartSpan("extsort/merge-pass",
 			emio.AttrInt("pass", pass), emio.AttrInt("runs", int64(len(runs))), emio.AttrInt("fan", int64(fan)))
 		var next []*emio.File
@@ -134,7 +170,7 @@ func MergeAllWithFanIn(ctx *emio.Ctx, runs []*emio.File, maxFan int) (*emio.File
 				next = append(next, group[0])
 				continue
 			}
-			merged, err := mergeGroup(ctx, group)
+			merged, err := mergeGroup(ctx, group, opt)
 			if err != nil {
 				psp.End()
 				return nil, err
@@ -146,6 +182,22 @@ func MergeAllWithFanIn(ctx *emio.Ctx, runs []*emio.File, maxFan int) (*emio.File
 		pass++
 	}
 	return runs[0], nil
+}
+
+// degradeFanIn shrinks the merge fan-in until the transient footprint of a
+// consuming merge — fan·(lag+1) unreclaimed input blocks plus one output
+// buffer — fits the disk budget's remaining headroom, never below 2. If even
+// a binary merge does not fit, the merge runs anyway and surfaces the
+// budget's *ResourceError at the first rejected append: degradation is
+// best-effort, the quota is the authority.
+func degradeFanIn(d *emio.Disk, fan int) int {
+	headroom := d.DiskBudget() - d.DiskBytes()
+	lag := d.ConsumeLag()
+	bb := d.BlockBytes()
+	for fan > 2 && (int64(fan)*(lag+1)+1)*bb > headroom {
+		fan--
+	}
+	return fan
 }
 
 // mergeFanIn picks the merge width: each input run needs a B-element reader
@@ -160,9 +212,18 @@ func mergeFanIn(ctx *emio.Ctx) int {
 	return f
 }
 
-// mergeGroup merges the given sorted runs into one new file and releases
-// them.
-func mergeGroup(ctx *emio.Ctx, group []*emio.File) (*emio.File, error) {
+// mergeOpts tunes one group merge. The default (zero) value neither releases
+// nor consumes its inputs — the checkpointed merge defers releases until the
+// pass record is durable. The plain merge releases consumed groups eagerly,
+// and adds consuming readers under a disk budget.
+type mergeOpts struct {
+	release bool // release input files once the merged output is written
+	consume bool // reclaim input blocks behind the read cursors (Reader.Consume)
+}
+
+// mergeGroup merges the given sorted runs into one new file, releasing them
+// afterwards when opt.release is set.
+func mergeGroup(ctx *emio.Ctx, group []*emio.File, opt mergeOpts) (*emio.File, error) {
 	readers := make([]*emio.Reader, 0, len(group))
 	closeAll := func() {
 		for _, r := range readers {
@@ -176,6 +237,9 @@ func mergeGroup(ctx *emio.Ctx, group []*emio.File) (*emio.File, error) {
 		if err != nil {
 			closeAll()
 			return nil, err
+		}
+		if opt.consume {
+			r.Consume()
 		}
 		readers = append(readers, r)
 		srcs = append(srcs, r.Next)
@@ -216,8 +280,10 @@ func mergeGroup(ctx *emio.Ctx, group []*emio.File) (*emio.File, error) {
 	if n != total {
 		return nil, fmt.Errorf("extsort: merged %d of %d elements", n, total)
 	}
-	for _, f := range group {
-		f.Release()
+	if opt.release {
+		for _, f := range group {
+			f.Release()
+		}
 	}
 	return out, nil
 }
